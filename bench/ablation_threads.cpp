@@ -1,0 +1,36 @@
+/// Ablation: thread count vs latency hiding vs cache thrash. The paper
+/// (§2.3/§3.3): "latency can be hidden by simply having more concurrent
+/// threads. However ... with larger number of threads, the context switch
+/// penalty rises very sharply and the cache begins to thrash." This sweep
+/// varies the closed-loop terminal population per node and reports the
+/// resulting operating point.
+
+#include "bench/bench_util.hpp"
+
+using namespace dclue;
+
+int main() {
+  bench::banner("Ablation", "terminals/node: latency hiding vs cache thrash");
+  core::SeriesTable table("terminals vs throughput / threads / csw / CPI");
+  table.add_column("terminals");
+  table.add_column("tpmC_k");
+  table.add_column("threads");
+  table.add_column("csw_kcyc");
+  table.add_column("cpi");
+  table.add_column("cpu_util");
+  const std::vector<double> sweep = bench::fast_mode()
+                                        ? std::vector<double>{16, 48}
+                                        : std::vector<double>{8, 16, 24, 36, 48, 72, 96};
+  for (double terminals : sweep) {
+    core::ClusterConfig cfg = bench::base_config();
+    cfg.nodes = 2;
+    cfg.affinity = 0.8;
+    cfg.terminals_per_node = static_cast<int>(terminals);
+    core::RunReport r = core::run_experiment(cfg);
+    table.add_row({terminals, r.tpmc / 1000.0, r.avg_active_threads,
+                   r.avg_context_switch_cycles / 1000.0, r.avg_cpi,
+                   r.cpu_utilization});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,39 @@
+#pragma once
+
+/// Shared helpers for the figure-reproduction benches.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace dclue::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("REPRO_FAST");
+  return v && v[0] == '1';
+}
+
+/// Node counts used for cluster-size sweeps (the paper plots 1..24).
+inline std::vector<int> node_sweep() {
+  if (fast_mode()) return {1, 2, 4, 8};
+  return {1, 2, 3, 4, 6, 8, 10, 12, 16, 24};
+}
+
+inline core::ClusterConfig base_config() {
+  core::ClusterConfig cfg = core::default_config();
+  cfg.seed = 7;
+  return cfg;
+}
+
+inline void banner(const char* fig, const char* what) {
+  std::printf("=====================================================\n");
+  std::printf("%s: %s\n", fig, what);
+  std::printf("(paper: Kant & Sahoo, \"Clustered DBMS Scalability under\n");
+  std::printf(" Unified Ethernet Fabric\"; shapes, not absolutes)\n");
+  std::printf("=====================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace dclue::bench

@@ -1,0 +1,31 @@
+/// Figures 2 & 3: IPC control and data messages per transaction vs cluster
+/// size, at affinity 0.8 (Fig 2) and affinity 0 (Fig 3). The paper's
+/// observation: the count "rises sharply at first but then saturates rather
+/// quickly", so message volume stops limiting scalability beyond small
+/// clusters.
+
+#include "bench/bench_util.hpp"
+
+using namespace dclue;
+
+int main() {
+  bench::banner("Fig 2 / Fig 3", "IPC messages per transaction vs nodes");
+  for (double affinity : {0.8, 0.0}) {
+    core::SeriesTable table(affinity == 0.8
+                                ? "Fig 2: IPC msgs/txn, affinity 0.8"
+                                : "Fig 3: IPC msgs/txn, affinity 0.0");
+    table.add_column("nodes");
+    table.add_column("control/txn");
+    table.add_column("data/txn");
+    for (int nodes : bench::node_sweep()) {
+      core::ClusterConfig cfg = bench::base_config();
+      cfg.nodes = nodes;
+      cfg.affinity = affinity;
+      core::RunReport r = core::run_experiment(cfg);
+      table.add_row({static_cast<double>(nodes), r.ipc_control_per_txn,
+                     r.ipc_data_per_txn});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+/// Figures 4 & 5: lock waits per transaction and average lock wait time vs
+/// cluster size, per affinity. The paper: "Both lock waits per transaction
+/// and average lock wait time increase steadily with cluster size" (with
+/// pronounced variability).
+
+#include "bench/bench_util.hpp"
+
+using namespace dclue;
+
+int main() {
+  bench::banner("Fig 4 / Fig 5", "lock waits/txn and lock wait time vs nodes");
+  core::SeriesTable waits("Fig 4: lock waits per transaction");
+  core::SeriesTable times("Fig 5: lock wait time (ms, unscaled)");
+  const std::vector<double> affinities = {0.8, 0.5, 0.0};
+  waits.add_column("nodes");
+  times.add_column("nodes");
+  for (double a : affinities) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "alpha=%.1f", a);
+    waits.add_column(buf);
+    times.add_column(buf);
+  }
+  for (int nodes : bench::node_sweep()) {
+    std::vector<double> wrow{static_cast<double>(nodes)};
+    std::vector<double> trow{static_cast<double>(nodes)};
+    for (double a : affinities) {
+      core::ClusterConfig cfg = bench::base_config();
+      cfg.nodes = nodes;
+      cfg.affinity = a;
+      // Lock statistics are the noisiest series in the paper; average a few
+      // replications.
+      core::RunReport r = core::run_experiment_avg(cfg, bench::fast_mode() ? 1 : 3);
+      wrow.push_back(r.lock_waits_per_txn + r.lock_failures_per_txn);
+      trow.push_back(r.lock_wait_time_ms);
+    }
+    waits.add_row(wrow);
+    times.add_row(trow);
+  }
+  waits.print();
+  times.print();
+  return 0;
+}

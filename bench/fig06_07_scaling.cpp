@@ -1,0 +1,61 @@
+/// Figures 6 & 7: throughput scaling. Fig 6 plots tpm-C vs cluster size with
+/// affinity as the parameter (1.0 = perfect-scaling reference; near-linear
+/// 2-10 nodes; slope change at 12 when the topology moves to 2 LATAs; low
+/// affinities flatten). Fig 7 plots scaling vs affinity with node count as
+/// the parameter — sensitivity is highest near high affinity.
+
+#include "bench/bench_util.hpp"
+
+using namespace dclue;
+
+int main() {
+  bench::banner("Fig 6 / Fig 7", "throughput scaling vs nodes and affinity");
+
+  const std::vector<double> fig6_affinities = {1.0, 0.8, 0.5, 0.0};
+  core::SeriesTable fig6("Fig 6: tpm-C (thousands) vs nodes");
+  fig6.add_column("nodes");
+  for (double a : fig6_affinities) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "alpha=%.1f", a);
+    fig6.add_column(buf);
+  }
+  for (int nodes : bench::node_sweep()) {
+    std::vector<double> row{static_cast<double>(nodes)};
+    for (double a : fig6_affinities) {
+      core::ClusterConfig cfg = bench::base_config();
+      cfg.nodes = nodes;
+      cfg.affinity = a;
+      core::RunReport r = core::run_experiment(cfg);
+      row.push_back(r.tpmc / 1000.0);
+    }
+    fig6.add_row(row);
+  }
+  fig6.print();
+
+  const std::vector<int> fig7_nodes = bench::fast_mode()
+                                          ? std::vector<int>{4, 8}
+                                          : std::vector<int>{4, 8, 16};
+  const std::vector<double> fig7_affinities =
+      bench::fast_mode() ? std::vector<double>{1.0, 0.8, 0.5, 0.0}
+                         : std::vector<double>{1.0, 0.9, 0.8, 0.65, 0.5, 0.25, 0.0};
+  core::SeriesTable fig7("Fig 7: tpm-C (thousands) vs affinity");
+  fig7.add_column("affinity");
+  for (int n : fig7_nodes) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%d nodes", n);
+    fig7.add_column(buf);
+  }
+  for (double a : fig7_affinities) {
+    std::vector<double> row{a};
+    for (int n : fig7_nodes) {
+      core::ClusterConfig cfg = bench::base_config();
+      cfg.nodes = n;
+      cfg.affinity = a;
+      core::RunReport r = core::run_experiment(cfg);
+      row.push_back(r.tpmc / 1000.0);
+    }
+    fig7.add_row(row);
+  }
+  fig7.print();
+  return 0;
+}

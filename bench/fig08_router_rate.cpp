@@ -1,0 +1,32 @@
+/// Figure 8: impact of router forwarding rate on scalability. Single-LATA
+/// cluster; cutting the forwarding rate from the normal 10000 packets/sec to
+/// 4000 packets/sec (paper's 100x-scaled units) saturates the inner router
+/// beyond ~8 connected servers and caps scaling.
+
+#include "bench/bench_util.hpp"
+
+using namespace dclue;
+
+int main() {
+  bench::banner("Fig 8", "router forwarding rate vs scalability (single LATA)");
+  core::SeriesTable table("Fig 8: tpm-C (thousands) vs nodes, single LATA");
+  table.add_column("nodes");
+  table.add_column("10000 pps");
+  table.add_column("4000 pps");
+  const std::vector<int> nodes_sweep =
+      bench::fast_mode() ? std::vector<int>{2, 4, 8} : std::vector<int>{2, 4, 6, 8, 10, 12};
+  for (int nodes : nodes_sweep) {
+    std::vector<double> row{static_cast<double>(nodes)};
+    for (double pps : {10'000.0, 4'000.0}) {
+      core::ClusterConfig cfg = bench::base_config();
+      cfg.nodes = nodes;
+      cfg.affinity = 0.8;
+      cfg.router_pps_at_scale100 = pps;
+      core::RunReport r = core::run_experiment(cfg);
+      row.push_back(r.tpmc / 1000.0);
+    }
+    table.add_row(row);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,32 @@
+/// Figure 9: centralized (single-node) logging vs per-node local logging.
+/// The paper: centralized logging simplifies recovery but performance "is
+/// consistently lower", eventually capped by the log node's capacity.
+
+#include "bench/bench_util.hpp"
+
+using namespace dclue;
+
+int main() {
+  bench::banner("Fig 9", "single-node logging vs local logging");
+  core::SeriesTable table("Fig 9: tpm-C (thousands) vs nodes");
+  table.add_column("nodes");
+  table.add_column("local log");
+  table.add_column("central log");
+  const std::vector<int> sweep = bench::fast_mode()
+                                     ? std::vector<int>{2, 4, 8}
+                                     : std::vector<int>{2, 4, 8, 12, 16, 24};
+  for (int nodes : sweep) {
+    std::vector<double> row{static_cast<double>(nodes)};
+    for (bool central : {false, true}) {
+      core::ClusterConfig cfg = bench::base_config();
+      cfg.nodes = nodes;
+      cfg.affinity = 0.8;
+      cfg.central_logging = central;
+      core::RunReport r = core::run_experiment(cfg);
+      row.push_back(r.tpmc / 1000.0);
+    }
+    table.add_row(row);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,37 @@
+/// Figure 10: impact of slower database growth. TPC-C sizes the database
+/// linearly with throughput; here, beyond 90 K tpm-C the warehouse count
+/// grows only with the square root of the additional throughput, so data
+/// contention rises with cluster size and scaling bends over.
+
+#include "bench/bench_util.hpp"
+
+using namespace dclue;
+
+int main() {
+  bench::banner("Fig 10", "sub-linear DB growth vs TPC-C linear sizing");
+  core::SeriesTable table("Fig 10: tpm-C (thousands) vs nodes");
+  table.add_column("nodes");
+  table.add_column("linear DB");
+  table.add_column("sqrt>90K DB");
+  table.add_column("wh(sqrt)");
+  const std::vector<int> sweep = bench::fast_mode()
+                                     ? std::vector<int>{2, 4, 8}
+                                     : std::vector<int>{2, 4, 8, 12, 16, 24};
+  for (int nodes : sweep) {
+    std::vector<double> row{static_cast<double>(nodes)};
+    std::int64_t sqrt_wh = 0;
+    for (auto growth : {core::DbGrowth::kLinear, core::DbGrowth::kSqrtBeyond90k}) {
+      core::ClusterConfig cfg = bench::base_config();
+      cfg.nodes = nodes;
+      cfg.affinity = 0.8;
+      cfg.growth = growth;
+      if (growth == core::DbGrowth::kSqrtBeyond90k) sqrt_wh = cfg.warehouses();
+      core::RunReport r = core::run_experiment(cfg);
+      row.push_back(r.tpmc / 1000.0);
+    }
+    row.push_back(static_cast<double>(sqrt_wh));
+    table.add_row(row);
+  }
+  table.print();
+  return 0;
+}

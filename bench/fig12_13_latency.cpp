@@ -1,0 +1,84 @@
+/// Figures 12 & 13: fabric latency impact. A 2-LATA system where each
+/// inter-LATA link carries half of an added latency; the paper finds only a
+/// few percent drop per millisecond for normal computation at both 0.8 and
+/// 0.5 affinity — because "the true impact of latency is felt only when the
+/// latency cannot be hidden by employing additional threads; therefore, we
+/// do not place any bound on the number of threads used" — and a much
+/// larger drop when computational path lengths are cut 4x (Fig 13).
+///
+/// Protocol: measure the closed-loop capacity at zero extra latency, then
+/// drive the cluster OPEN-LOOP at ~92% of that capacity (unbounded threads)
+/// while sweeping the added latency.
+
+#include "bench/bench_util.hpp"
+
+using namespace dclue;
+
+namespace {
+
+core::ClusterConfig scenario(double affinity, double comp) {
+  core::ClusterConfig cfg = bench::base_config();
+  cfg.nodes = 8;
+  cfg.max_servers_per_lata = 4;  // force 2 LATAs of 4 nodes
+  cfg.affinity = affinity;
+  cfg.computation_factor = comp;
+  return cfg;
+}
+
+/// Average TPC-C transactions per business transaction (mix-derived).
+constexpr double kTxnsPerBt = 2.0 + (0.05 + 0.05 + 0.04) / 0.43;
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 12 / Fig 13", "inter-LATA latency impact, 2 LATAs x 4 nodes");
+  for (double comp : {1.0, 0.25}) {
+    core::SeriesTable table(comp == 1.0
+                                ? "Fig 12: tpm-C(k) + drop% vs extra latency, normal comp"
+                                : "Fig 13: tpm-C(k) + drop% vs extra latency, low comp");
+    table.add_column("latency_ms");
+    table.add_column("a=0.8 tpmC");
+    table.add_column("a=0.8 drop%");
+    table.add_column("a=0.8 thr");
+    table.add_column("a=0.5 tpmC");
+    table.add_column("a=0.5 drop%");
+    const std::vector<double> latencies =
+        bench::fast_mode() ? std::vector<double>{0.0, 1.0}
+                           : std::vector<double>{0.0, 0.5, 1.0, 2.0};
+
+    // Pass 1: closed-loop capacity probe per affinity.
+    std::array<double, 2> open_rate{};
+    {
+      int idx = 0;
+      for (double a : {0.8, 0.5}) {
+        core::RunReport cap = core::run_experiment(scenario(a, comp));
+        open_rate[idx++] =
+            0.92 * (cap.txn_rate / 8.0) / kTxnsPerBt;  // bt/s per node
+      }
+    }
+
+    std::array<double, 2> baseline{0.0, 0.0};
+    for (double ms : latencies) {
+      std::vector<double> row{ms};
+      int idx = 0;
+      for (double a : {0.8, 0.5}) {
+        core::ClusterConfig cfg = scenario(a, comp);
+        cfg.open_loop_bt_rate_per_node = open_rate[static_cast<std::size_t>(idx)];
+        cfg.extra_inter_lata_latency = ms * 1e-3;
+        core::RunReport r = core::run_experiment(cfg);
+        if (ms == 0.0) baseline[static_cast<std::size_t>(idx)] = r.tpmc;
+        const double drop =
+            baseline[static_cast<std::size_t>(idx)] > 0
+                ? (1.0 - r.tpmc / baseline[static_cast<std::size_t>(idx)]) * 100.0
+                : 0.0;
+        row.push_back(r.tpmc / 1000.0);
+        row.push_back(drop);
+        if (a == 0.8) row.push_back(r.avg_active_threads);
+        ++idx;
+      }
+      table.add_row(row);
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// Figure 16: cross-traffic sensitivity vs affinity (low computation). The
+/// paper's counter-intuitive result: lower affinity is *less* sensitive to
+/// interfering traffic, because low-affinity workloads already run many
+/// threads (more communication to hide) and the cache is already near
+/// thrashing — further delays cannot degrade it much more.
+///
+/// Same open-loop protocol as Figs 14-15, per affinity.
+
+#include "bench/bench_util.hpp"
+
+using namespace dclue;
+
+namespace {
+constexpr double kTxnsPerBt = 2.0 + (0.05 + 0.05 + 0.04) / 0.43;
+}
+
+int main() {
+  bench::banner("Fig 16", "cross traffic impact vs affinity (low comp)");
+  core::SeriesTable table("Fig 16: tpm-C(k) and drop% vs affinity, FTP@AF21 100Mb/s");
+  table.add_column("affinity");
+  table.add_column("no FTP");
+  table.add_column("FTP 100");
+  table.add_column("drop %");
+  table.add_column("thr base");
+  table.add_column("thr FTP");
+  const std::vector<double> affinities =
+      bench::fast_mode() ? std::vector<double>{0.8, 0.0}
+                         : std::vector<double>{1.0, 0.8, 0.5, 0.0};
+  for (double a : affinities) {
+    core::ClusterConfig base = bench::base_config();
+    base.nodes = 8;
+    base.max_servers_per_lata = 4;
+    base.affinity = a;
+    base.computation_factor = 0.25;  // low computation
+    core::RunReport cap = core::run_experiment(base);
+    const double rate = 0.92 * (cap.txn_rate / 8.0) / kTxnsPerBt;
+
+    std::vector<double> row{a};
+    double baseline = 0.0, thr0 = 0.0, thr1 = 0.0;
+    for (double mbps : {0.0, 100.0}) {
+      core::ClusterConfig cfg = base;
+      cfg.open_loop_bt_rate_per_node = rate;
+      cfg.ftp.offered_load_mbps = mbps;
+      cfg.ftp.high_priority = true;
+      core::RunReport r = core::run_experiment(cfg);
+      if (mbps == 0.0) {
+        baseline = r.tpmc;
+        thr0 = r.avg_active_threads;
+      } else {
+        thr1 = r.avg_active_threads;
+      }
+      row.push_back(r.tpmc / 1000.0);
+    }
+    row.push_back(baseline > 0 ? (1.0 - row[2] * 1000.0 / baseline) * 100.0 : 0.0);
+    row.push_back(thr0);
+    row.push_back(thr1);
+    table.add_row(row);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,145 @@
+/// Substrate microbenchmarks (google-benchmark): the raw performance of the
+/// simulation engine and its building blocks. These bound how large a
+/// cluster/duration the figure benches can sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "db/btree.hpp"
+#include "db/buffer_cache.hpp"
+#include "db/lock_manager.hpp"
+#include "net/topology.hpp"
+#include "net/tcp.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+#include "storage/disk.hpp"
+
+namespace {
+
+using namespace dclue;
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10'000) e.after(1e-6, tick);
+    };
+    e.after(1e-6, tick);
+    e.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::spawn([](sim::Engine& e) -> sim::Task<void> {
+      for (int i = 0; i < 10'000; ++i) co_await sim::delay_for(e, 1e-6);
+    }(e));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    db::BTree<std::uint64_t, std::uint64_t> t;
+    for (int i = 0; i < 100'000; ++i) t.insert(rng.raw(), 1);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeFind(benchmark::State& state) {
+  db::BTree<std::uint64_t, std::uint64_t> t;
+  sim::Rng rng(1);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 100'000; ++i) {
+    keys.push_back(rng.raw());
+    t.insert(keys.back(), 1);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.find(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeFind);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  // Simulated 10 MB transfer over the two-host harness per iteration.
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::TopologyParams tp;
+    tp.servers_per_lata = 2;
+    net::Topology topo(engine, tp);
+    auto free_cpu = [](sim::PathLength, cpu::JobClass) -> sim::Task<void> {
+      co_return;
+    };
+    net::TcpStack a(engine, topo.server_nic(0), {}, {}, free_cpu);
+    net::TcpStack b(engine, topo.server_nic(1), {}, {}, free_cpu);
+    auto& listener = b.listen(80);
+    sim::spawn([](net::TcpListener& l) -> sim::Task<void> {
+      auto conn = co_await l.accept();
+      conn->set_rx_handler([](sim::Bytes) {});
+    }(listener));
+    auto conn = a.connect(topo.server_nic(1).address(), 80);
+    conn->send(10'000'000);
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_executed());
+  }
+}
+BENCHMARK(BM_TcpBulkTransfer);
+
+void BM_DiskRandomReads(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    storage::Disk disk(engine, "d", {});
+    sim::Rng rng(3);
+    for (int i = 0; i < 1'000; ++i) {
+      sim::spawn([](storage::Disk& d, std::int64_t blk) -> sim::Task<void> {
+        co_await d.read(blk, 8192);
+      }(disk, rng.uniform_int(0, 1 << 22)));
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_DiskRandomReads);
+
+void BM_LockManagerChurn(benchmark::State& state) {
+  sim::Engine engine;
+  db::LockManager lm(engine);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    ++k;
+    lm.try_acquire(k % 1024, k);
+    lm.release(k % 1024, k);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockManagerChurn);
+
+void BM_BufferCacheTouch(benchmark::State& state) {
+  db::BufferCache cache(10'000);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    cache.insert(db::make_page_id(db::TableId::kStock, false, i),
+                 db::PageMode::kShared);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    cache.touch(db::make_page_id(db::TableId::kStock, false, i++ % 10'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferCacheTouch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/// Capacity planning: "how many nodes do I need for a target tpm-C, given
+/// how well my workload partitions?" — the question the paper's scaling
+/// study answers. This example sweeps cluster sizes for a user-supplied
+/// affinity and target, reporting the marginal value of each added node and
+/// where scaling stops paying.
+///
+///   ./capacity_planning [affinity] [target_ktpmc]
+///   e.g. ./capacity_planning 0.8 250
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dclue;
+  const double affinity = argc > 1 ? std::atof(argv[1]) : 0.8;
+  const double target_ktpmc = argc > 2 ? std::atof(argv[2]) : 200.0;
+
+  std::printf("Capacity plan: affinity %.2f, target %.0fK tpm-C\n\n", affinity,
+              target_ktpmc);
+  std::printf("%6s %12s %14s %16s %12s\n", "nodes", "tpm-C (K)", "added (K)",
+              "efficiency", "ctrl-IPC/txn");
+
+  double prev = 0.0;
+  double per_node_base = 0.0;
+  int chosen = -1;
+  for (int nodes : {1, 2, 4, 6, 8, 12, 16}) {
+    core::ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.affinity = affinity;
+    cfg.seed = 11;
+    core::RunReport r = core::run_experiment(cfg);
+    const double k = r.tpmc / 1000.0;
+    if (nodes == 1) per_node_base = k;
+    const double efficiency = k / (per_node_base * nodes);
+    std::printf("%6d %12.1f %14.1f %15.0f%% %12.1f\n", nodes, k, k - prev,
+                efficiency * 100.0, r.ipc_control_per_txn);
+    if (chosen < 0 && k >= target_ktpmc) chosen = nodes;
+    prev = k;
+  }
+  if (chosen > 0) {
+    std::printf("\n=> target of %.0fK tpm-C is first reached at %d nodes.\n",
+                target_ktpmc, chosen);
+  } else {
+    std::printf("\n=> target of %.0fK tpm-C is NOT reachable by 16 nodes at "
+                "affinity %.2f; improve partitioning (higher affinity) "
+                "instead of adding nodes.\n",
+                target_ktpmc, affinity);
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+/// dclue_cli: run one cluster configuration from the command line and print
+/// the full report — the general-purpose front end for ad-hoc sensitivity
+/// studies that do not warrant a bench binary.
+///
+///   ./dclue_cli [--nodes N] [--affinity A] [--terminals T] [--sw-tcp]
+///               [--sw-iscsi] [--central-log] [--low-comp] [--ftp MBPS]
+///               [--ftp-priority] [--latency MS] [--router-pps P]
+///               [--wfq] [--wred] [--police MBPS] [--seed S]
+///               [--warmup S] [--measure S] [--open-loop RATE]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/experiment.hpp"
+
+namespace {
+
+void usage() {
+  std::puts(
+      "dclue_cli — clustered DBMS / unified Ethernet fabric simulator\n"
+      "  --nodes N        server nodes (default 4)\n"
+      "  --affinity A     query affinity 0..1 (default 0.8)\n"
+      "  --terminals T    closed-loop terminals per node (default 36)\n"
+      "  --open-loop R    open-loop business txns/s per node (default off)\n"
+      "  --sw-tcp         kernel TCP instead of offloaded\n"
+      "  --sw-iscsi       software iSCSI (CRC in software)\n"
+      "  --central-log    all logging on node 0 (Fig 9)\n"
+      "  --low-comp       computational path lengths / 4 (Fig 13/15)\n"
+      "  --ftp MBPS       FTP cross traffic offered load, unscaled Mb/s\n"
+      "  --ftp-priority   promote FTP to AF21 strict priority\n"
+      "  --latency MS     extra one-way inter-LATA latency, unscaled ms\n"
+      "  --router-pps P   router forwarding rate at scale 100 (default 10000)\n"
+      "  --wfq            weighted-fair queueing 4:1 instead of priority\n"
+      "  --wred           WRED early dropping at all queues\n"
+      "  --police MBPS    leaky-bucket police the AF class\n"
+      "  --seed S / --warmup S / --measure S (scaled seconds)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dclue;
+  core::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.affinity = 0.8;
+
+  for (int i = 1; i < argc; ++i) {
+    auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
+    auto value = [&]() -> double {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg("--nodes")) {
+      cfg.nodes = static_cast<int>(value());
+    } else if (arg("--affinity")) {
+      cfg.affinity = value();
+    } else if (arg("--terminals")) {
+      cfg.terminals_per_node = static_cast<int>(value());
+    } else if (arg("--open-loop")) {
+      cfg.open_loop_bt_rate_per_node = value();
+    } else if (arg("--sw-tcp")) {
+      cfg.hw_tcp = false;
+    } else if (arg("--sw-iscsi")) {
+      cfg.hw_iscsi = false;
+    } else if (arg("--central-log")) {
+      cfg.central_logging = true;
+    } else if (arg("--low-comp")) {
+      cfg.computation_factor = 0.25;
+    } else if (arg("--ftp")) {
+      cfg.ftp.offered_load_mbps = value();
+    } else if (arg("--ftp-priority")) {
+      cfg.ftp.high_priority = true;
+    } else if (arg("--latency")) {
+      cfg.extra_inter_lata_latency = value() * 1e-3;
+    } else if (arg("--router-pps")) {
+      cfg.router_pps_at_scale100 = value();
+    } else if (arg("--wfq")) {
+      cfg.qos.scheduler = net::QueueScheduler::kWfq;
+    } else if (arg("--wred")) {
+      cfg.qos.wred = true;
+      cfg.ecn_marking = true;
+    } else if (arg("--police")) {
+      cfg.qos.af_police_mbps = value();
+    } else if (arg("--seed")) {
+      cfg.seed = static_cast<std::uint64_t>(value());
+    } else if (arg("--warmup")) {
+      cfg.warmup = value();
+    } else if (arg("--measure")) {
+      cfg.measure = value();
+    } else {
+      usage();
+      return arg("--help") || arg("-h") ? 0 : 2;
+    }
+  }
+
+  std::fprintf(stderr,
+               "running: %d nodes (%d LATA%s), affinity %.2f, %lld warehouses\n",
+               cfg.nodes, cfg.latas(), cfg.latas() > 1 ? "s" : "", cfg.affinity,
+               static_cast<long long>(cfg.warehouses()));
+  core::RunReport r = core::run_experiment(cfg);
+
+  std::printf("tpmc              %12.0f\n", r.tpmc);
+  std::printf("txn_rate_scaled   %12.2f\n", r.txn_rate);
+  std::printf("abort_rate        %12.4f\n", r.abort_rate);
+  std::printf("ipc_ctrl_per_txn  %12.2f\n", r.ipc_control_per_txn);
+  std::printf("ipc_data_per_txn  %12.2f\n", r.ipc_data_per_txn);
+  std::printf("ctrl_delay_ms     %12.3f\n", r.control_msg_delay_ms);
+  std::printf("lock_waits_txn    %12.4f\n", r.lock_waits_per_txn);
+  std::printf("lock_fail_txn     %12.4f\n", r.lock_failures_per_txn);
+  std::printf("lock_wait_ms      %12.3f\n", r.lock_wait_time_ms);
+  std::printf("buffer_hit        %12.4f\n", r.buffer_hit_ratio);
+  std::printf("disk_reads_txn    %12.3f\n", r.disk_reads_per_txn);
+  std::printf("remote_fetch_txn  %12.3f\n", r.remote_fetch_per_txn);
+  std::printf("threads           %12.2f\n", r.avg_active_threads);
+  std::printf("csw_cycles        %12.0f\n", r.avg_context_switch_cycles);
+  std::printf("cpi               %12.3f\n", r.avg_cpi);
+  std::printf("cpu_util          %12.3f\n", r.cpu_utilization);
+  std::printf("interlata_mbps    %12.1f\n", r.inter_lata_mbps);
+  std::printf("ftp_carried_mbps  %12.1f\n", r.ftp_carried_mbps);
+  std::printf("fabric_drops      %12llu\n",
+              static_cast<unsigned long long>(r.fabric_drops));
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// QoS what-if: should the storage/IPC fabric be shared with other
+/// applications, and what happens when those applications get priority?
+/// This example runs the paper's §3.4 scenario interactively: a 2-LATA
+/// cluster with FTP-like cross traffic at a chosen load, under both QoS
+/// arrangements, and explains the observed mechanism.
+///
+///   ./qos_what_if [ftp_mbps]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dclue;
+  const double mbps = argc > 1 ? std::atof(argv[1]) : 100.0;
+
+  core::ClusterConfig base;
+  base.nodes = 8;
+  base.max_servers_per_lata = 4;  // 2 LATAs x 4 nodes (the paper's setup)
+  base.affinity = 0.8;
+  base.seed = 23;
+
+  std::printf("Baseline (no cross traffic)...\n");
+  core::RunReport clean = core::run_experiment(base);
+
+  base.ftp.offered_load_mbps = mbps;
+  base.ftp.high_priority = false;
+  std::printf("With %.0f Mb/s FTP as best-effort...\n", mbps);
+  core::RunReport be = core::run_experiment(base);
+
+  base.ftp.high_priority = true;
+  std::printf("With %.0f Mb/s FTP promoted to AF21 priority...\n\n", mbps);
+  core::RunReport af = core::run_experiment(base);
+
+  auto drop = [&](const core::RunReport& r) {
+    return (1.0 - r.tpmc / clean.tpmc) * 100.0;
+  };
+  std::printf("%-28s %12s %12s %12s\n", "", "no FTP", "best-effort", "FTP@AF21");
+  std::printf("%-28s %12.0f %12.0f %12.0f\n", "tpm-C", clean.tpmc, be.tpmc, af.tpmc);
+  std::printf("%-28s %12s %11.1f%% %11.1f%%\n", "throughput drop", "-", drop(be),
+              drop(af));
+  std::printf("%-28s %12.2f %12.2f %12.2f\n", "ctrl msg delay (ms)",
+              clean.control_msg_delay_ms, be.control_msg_delay_ms,
+              af.control_msg_delay_ms);
+  std::printf("%-28s %12.2f %12.2f %12.2f\n", "lock wait (ms)",
+              clean.lock_wait_time_ms, be.lock_wait_time_ms, af.lock_wait_time_ms);
+  std::printf("%-28s %12.1f %12.1f %12.1f\n", "active threads/node",
+              clean.avg_active_threads, be.avg_active_threads,
+              af.avg_active_threads);
+  std::printf("%-28s %12.0f %12.0f %12.0f\n", "context switch (cycles)",
+              clean.avg_context_switch_cycles, be.avg_context_switch_cycles,
+              af.avg_context_switch_cycles);
+  std::printf("%-28s %12.2f %12.2f %12.2f\n", "effective CPI", clean.avg_cpi,
+              be.avg_cpi, af.avg_cpi);
+  std::printf("%-28s %12llu %12llu %12llu\n", "fabric drops",
+              (unsigned long long)clean.fabric_drops,
+              (unsigned long long)be.fabric_drops,
+              (unsigned long long)af.fabric_drops);
+
+  std::printf(
+      "\nMechanism (paper §3.4): priority cross traffic delays critical IPC\n"
+      "control messages (lock acquire/release); the DBMS compensates with\n"
+      "more concurrent threads, which thrash the processor cache, inflate\n"
+      "context-switch costs and CPI, and throughput falls much further than\n"
+      "under best-effort sharing, where both traffics back off together.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+/// Quickstart: simulate a 4-node clustered DBMS over a unified Ethernet
+/// fabric and print the headline metrics. This is the smallest useful
+/// program against the public API:
+///
+///   1. Fill in a core::ClusterConfig (everything has sensible defaults
+///      matching the paper's baseline platform).
+///   2. Run it with core::run_experiment (or build a core::Cluster yourself
+///      if you want to poke at nodes mid-run).
+///   3. Read the core::RunReport.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace dclue;
+
+  core::ClusterConfig cfg;
+  cfg.nodes = 4;       // four dual-processor P4 server nodes
+  cfg.affinity = 0.8;  // 80% of queries routed to their warehouse's node
+  cfg.seed = 2026;
+
+  std::printf("Simulating a %d-node clustered TPC-C DBMS (affinity %.1f, "
+              "%lld warehouses)...\n",
+              cfg.nodes, cfg.affinity, static_cast<long long>(cfg.warehouses()));
+  core::RunReport r = core::run_experiment(cfg);
+
+  std::printf("\n-- throughput --------------------------------------\n");
+  std::printf("tpm-C (unscaled equivalent):     %10.0f\n", r.tpmc);
+  std::printf("transactions measured:           %10.0f\n", r.txns);
+  std::printf("abort rate:                      %10.3f\n", r.abort_rate);
+  std::printf("-- fabric ------------------------------------------\n");
+  std::printf("IPC control msgs / txn:          %10.2f\n", r.ipc_control_per_txn);
+  std::printf("IPC data msgs / txn:             %10.2f\n", r.ipc_data_per_txn);
+  std::printf("control msg delay (ms):          %10.3f\n", r.control_msg_delay_ms);
+  std::printf("inter-LATA traffic (Mb/s):       %10.1f\n", r.inter_lata_mbps);
+  std::printf("-- storage & memory --------------------------------\n");
+  std::printf("buffer hit ratio:                %10.3f\n", r.buffer_hit_ratio);
+  std::printf("disk reads / txn:                %10.2f\n", r.disk_reads_per_txn);
+  std::printf("remote cache fetches / txn:      %10.2f\n", r.remote_fetch_per_txn);
+  std::printf("-- concurrency -------------------------------------\n");
+  std::printf("lock waits / txn:                %10.3f\n", r.lock_waits_per_txn);
+  std::printf("lock wait time (ms):             %10.3f\n", r.lock_wait_time_ms);
+  std::printf("avg active threads / node:       %10.1f\n", r.avg_active_threads);
+  std::printf("avg context switch (cycles):     %10.0f\n", r.avg_context_switch_cycles);
+  std::printf("effective CPI:                   %10.2f\n", r.avg_cpi);
+  std::printf("CPU utilization:                 %10.3f\n", r.cpu_utilization);
+  std::printf("-- latency budget (avg txn, ms) --------------------\n");
+  std::printf("total:                           %10.2f\n", r.txn_ms);
+  std::printf("  phase 1 (reads+fetches):       %10.2f\n", r.txn_phase1_ms);
+  std::printf("  phase 2 (global locks):        %10.2f\n", r.txn_lock_ms);
+  std::printf("  WAL flush:                     %10.2f\n", r.txn_log_ms);
+  std::printf("  apply+commit:                  %10.2f\n", r.txn_apply_ms);
+  return 0;
+}

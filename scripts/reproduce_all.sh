@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Reproduce the full study: build, test, and run every figure bench.
+# Usage: scripts/reproduce_all.sh [outdir]   (REPRO_FAST=1 for quick runs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-results}"
+mkdir -p "$OUT"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee "$OUT/test_output.txt"
+
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  echo "=== $name ==="
+  "$b" | tee "$OUT/$name.txt"
+done
+echo "All outputs in $OUT/"

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file directory.hpp
+/// Cache-fusion directory (the "B" role in the paper's §2.1 protocol). Pages
+/// are hash-homed across nodes; each node runs one DirectoryService instance
+/// for the pages it homes. The directory knows which nodes hold a page and
+/// which (if any) holds it exclusively, and picks the data supplier for
+/// remote fetches.
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "db/table.hpp"
+
+namespace dclue::cluster {
+
+class DirectoryService {
+ public:
+  struct LookupResult {
+    bool has_supplier = false;
+    int supplier = -1;
+    std::vector<int> invalidate;  ///< holders to invalidate (exclusive reqs)
+  };
+
+  /// Look up \p page on behalf of \p requester. The requester is recorded as
+  /// an (in-flight) holder immediately so concurrent lookups can be served
+  /// from it once its copy lands. For exclusive requests, all other holders
+  /// are scheduled for invalidation.
+  LookupResult lookup(db::PageId page, int requester, bool exclusive) {
+    auto& entry = entries_[page];
+    LookupResult result;
+    // Prefer the exclusive owner as supplier, else any holder.
+    if (entry.exclusive_owner >= 0 && entry.exclusive_owner != requester) {
+      result.has_supplier = true;
+      result.supplier = entry.exclusive_owner;
+    } else {
+      for (int h : entry.holders) {
+        if (h != requester) {
+          result.has_supplier = true;
+          result.supplier = h;
+          break;
+        }
+      }
+    }
+    if (exclusive) {
+      for (int h : entry.holders) {
+        if (h != requester) result.invalidate.push_back(h);
+      }
+      entry.holders.clear();
+      entry.holders.push_back(requester);
+      entry.exclusive_owner = requester;
+    } else {
+      if (std::find(entry.holders.begin(), entry.holders.end(), requester) ==
+          entry.holders.end()) {
+        entry.holders.push_back(requester);
+      }
+      if (entry.exclusive_owner >= 0 && entry.exclusive_owner != requester) {
+        // Shared request demotes the exclusive owner to a plain holder.
+        entry.exclusive_owner = -1;
+      }
+    }
+    return result;
+  }
+
+  /// The requester confirms successful retrieval ("A eventually informs B").
+  void confirm(db::PageId page, int holder) {
+    auto& entry = entries_[page];
+    if (std::find(entry.holders.begin(), entry.holders.end(), holder) ==
+        entry.holders.end()) {
+      entry.holders.push_back(holder);
+    }
+  }
+
+  /// A holder evicted its copy ("if A had to evict a block ... it informs B").
+  void evict(db::PageId page, int holder) {
+    auto it = entries_.find(page);
+    if (it == entries_.end()) return;
+    auto& holders = it->second.holders;
+    holders.erase(std::remove(holders.begin(), holders.end(), holder),
+                  holders.end());
+    if (it->second.exclusive_owner == holder) it->second.exclusive_owner = -1;
+    if (holders.empty()) entries_.erase(it);
+  }
+
+  [[nodiscard]] std::size_t entries() const { return entries_.size(); }
+  [[nodiscard]] int holder_count(db::PageId page) const {
+    auto it = entries_.find(page);
+    return it == entries_.end() ? 0 : static_cast<int>(it->second.holders.size());
+  }
+
+ private:
+  struct Entry {
+    std::vector<int> holders;
+    int exclusive_owner = -1;
+  };
+  std::unordered_map<db::PageId, Entry> entries_;
+};
+
+}  // namespace dclue::cluster

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file ipc.hpp
+/// Inter-node IPC for the clustered DBMS: typed control messages (~250 B, the
+/// paper's figure) and block data messages (8 KB+) over the per-node-pair
+/// IPC TCP connection, with request/response correlation. Every message send
+/// and receive charges application-level handling path length on the node's
+/// CPUs, on top of the TCP costs charged by the stack — both the "overhead"
+/// the paper's Fig 11 measures.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "cpu/processor.hpp"
+#include "proto/channel.hpp"
+#include "sim/sync.hpp"
+
+namespace dclue::cluster {
+
+enum IpcType : std::uint32_t {
+  kDirRequest = 1,
+  kDirReply,
+  kBlockForward,   ///< directory -> supplier: "send the block to requester"
+  kBlockTransfer,  ///< supplier -> requester: the data message
+  kDirConfirm,
+  kDirEvict,
+  kInvalidate,
+  kLockAcquire,
+  kLockReply,
+  kLockRelease,
+  kLogFlush,
+  kLogFlushAck,
+};
+
+inline constexpr sim::Bytes kControlMsgBytes = 250;
+inline constexpr sim::Bytes kBlockBaseBytes = 8192;
+
+/// Correlation envelope carried by every IPC message.
+struct Envelope {
+  std::uint64_t req_id = 0;
+  int src_node = -1;
+  std::shared_ptr<void> body;
+};
+
+class IpcService {
+ public:
+  /// Handler for incoming non-reply messages.
+  using Handler = std::function<void(Envelope)>;
+  /// Charges path length to this node's CPUs.
+  using Charge = std::function<sim::Task<void>(sim::PathLength, cpu::JobClass)>;
+
+  IpcService(sim::Engine& engine, int node_id, core::NodeStats& stats,
+             sim::PathLength handler_pl, Charge charge)
+      : engine_(engine),
+        node_id_(node_id),
+        stats_(stats),
+        handler_pl_(handler_pl),
+        charge_(std::move(charge)) {}
+
+  /// Bind the channel toward \p peer and start its reader loop.
+  void attach_peer(int peer, std::shared_ptr<proto::MsgChannel> channel);
+
+  void set_handler(IpcType type, Handler handler) {
+    handlers_[type] = std::move(handler);
+  }
+
+  /// One-way control message (~250 B).
+  void send_control(int dst, IpcType type, std::shared_ptr<void> body,
+                    std::uint64_t req_id = 0);
+
+  /// Data message (block transfer, \p bytes >= 8 KB).
+  void send_data(int dst, IpcType type, sim::Bytes bytes,
+                 std::shared_ptr<void> body, std::uint64_t req_id);
+
+  /// Control RPC: send and await the correlated reply body.
+  sim::Task<std::shared_ptr<void>> rpc(int dst, IpcType type,
+                                       std::shared_ptr<void> body);
+
+  /// Await an async reply routed by \p req_id (e.g. a 3-way block transfer
+  /// where the data comes from a different node than the request went to).
+  sim::Task<std::shared_ptr<void>> await_reply(std::uint64_t req_id);
+
+  /// Allocate a correlation id for a multi-party exchange.
+  std::uint64_t new_req_id() { return next_req_id_++; }
+
+  [[nodiscard]] int node_id() const { return node_id_; }
+  [[nodiscard]] bool connected_to(int peer) const {
+    return peers_.contains(peer);
+  }
+
+ private:
+  sim::DetachedTask reader_loop(int peer, std::shared_ptr<proto::MsgChannel> ch);
+  void dispatch(Envelope env, std::uint32_t type);
+
+  struct Pending {
+    std::unique_ptr<sim::Gate> gate;
+    std::shared_ptr<void> body;
+    bool arrived = false;
+  };
+
+  sim::Engine& engine_;
+  int node_id_;
+  core::NodeStats& stats_;
+  sim::PathLength handler_pl_;
+  Charge charge_;
+  std::unordered_map<int, std::shared_ptr<proto::MsgChannel>> peers_;
+  std::unordered_map<IpcType, Handler> handlers_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_req_id_ = 1;
+};
+
+}  // namespace dclue::cluster

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file partition.hpp
+/// Warehouse partitioning and page homing. The database is partitioned in
+/// equal blocks of warehouses per node (§2.2); a page's *storage* home is
+/// the node whose disks hold it, and — as in RAC's resource affinity — the
+/// directory/lock master for a partitioned page is co-located with its
+/// partition, so a perfectly affine workload (alpha = 1.0) generates almost
+/// no IPC. Pages with no warehouse identity (item table) are hash-mastered
+/// across the cluster.
+///
+/// Every warehouse-keyed table is key-clustered (see db::TableSpec), so both
+/// data pages (page_no = key / rows_per_page) and index leaf pages
+/// (page_no = key / keys_per_leaf) preserve the warehouse bits of the key,
+/// which this map reconstructs.
+
+#include <algorithm>
+
+#include "cluster/fusion.hpp"
+#include "db/tpcc_schema.hpp"
+
+namespace dclue::cluster {
+
+class PartitionMap {
+ public:
+  PartitionMap(const db::TpccDatabase& db, int nodes) : db_(&db), nodes_(nodes) {}
+
+  [[nodiscard]] int nodes() const { return nodes_; }
+
+  [[nodiscard]] int owner_of_warehouse(std::int64_t w) const {
+    const std::int64_t total = db_->scale().warehouses;
+    const std::int64_t idx = std::clamp<std::int64_t>(w - 1, 0, total - 1);
+    return static_cast<int>(idx * nodes_ / total);
+  }
+
+  /// Directory / lock master (and storage home) for a page.
+  [[nodiscard]] int home_of_page(db::PageId page) const {
+    if (nodes_ == 1) return 0;
+    const db::TableId table = db::table_of_page(page);
+    if (table == db::TableId::kItem) return page_hash_home(page, nodes_);
+
+    const bool index = db::is_index_page(page);
+    const auto page_no = static_cast<std::int64_t>(db::page_number(page));
+    // Reconstruct the LAST key coverable by the page. Key runs start at the
+    // bottom of each warehouse's block, so when a page straddles a block
+    // boundary its populated rows belong to the *higher* warehouse — the
+    // end-of-page key recovers exactly that one.
+    const std::int64_t keys_per_page =
+        index ? 32 : rows_per_page(table);  // Table::kIndexKeysPerLeaf
+    const std::int64_t key = (page_no + 1) * keys_per_page - 1;
+    return owner_of_warehouse(std::max<std::int64_t>(key >> key_shift(table), 1));
+  }
+
+  /// Bit position of the warehouse id within each table's composite key.
+  [[nodiscard]] static int key_shift(db::TableId table) {
+    switch (table) {
+      case db::TableId::kWarehouse:
+        return 0;
+      case db::TableId::kDistrict:
+        return 8;
+      case db::TableId::kCustomer:
+        return 28;
+      case db::TableId::kStock:
+        return 20;
+      case db::TableId::kOrder:
+      case db::TableId::kNewOrder:
+        return 40;
+      case db::TableId::kOrderLine:
+        return 44;
+      case db::TableId::kHistory:
+        return 32;
+      default:
+        return 0;
+    }
+  }
+
+ private:
+  [[nodiscard]] static std::int64_t rows_per_page(db::TableId table) {
+    switch (table) {
+      case db::TableId::kWarehouse:
+        return 1;  // padded hot rows
+      case db::TableId::kDistrict:
+        return db::kPageBytes / db::TpccSpecs::district.row_bytes;
+      case db::TableId::kCustomer:
+        return db::kPageBytes / db::TpccSpecs::customer.row_bytes;
+      case db::TableId::kStock:
+        return db::kPageBytes / db::TpccSpecs::stock.row_bytes;
+      case db::TableId::kOrder:
+        return db::kPageBytes / db::TpccSpecs::order.row_bytes;
+      case db::TableId::kNewOrder:
+        return db::kPageBytes / db::TpccSpecs::new_order.row_bytes;
+      case db::TableId::kOrderLine:
+        return db::kPageBytes / db::TpccSpecs::order_line.row_bytes;
+      case db::TableId::kHistory:
+        return db::kPageBytes / db::TpccSpecs::history.row_bytes;
+      default:
+        return 1;
+    }
+  }
+
+  const db::TpccDatabase* db_;
+  int nodes_;
+};
+
+}  // namespace dclue::cluster

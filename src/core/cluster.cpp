@@ -1,0 +1,363 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+
+#include "cluster/partition.hpp"
+
+namespace dclue::core {
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), rngs_(cfg_.seed) {
+  db::TpccScale scale;
+  scale.warehouses = cfg_.warehouses();
+  scale.customers_per_district = cfg_.customers_per_district;
+  scale.items = cfg_.items;
+  scale.district_subpage_override = cfg_.district_subpage_bytes;
+  db_ = std::make_unique<db::TpccDatabase>(scale);
+  // Populate before building nodes: buffer-cache capacities are sized from
+  // the real table footprint.
+  sim::Rng pop_rng = rngs_.stream("populate");
+  db_->populate(pop_rng);
+  ready_ = std::make_unique<sim::Gate>(engine_);
+  build_topology();
+  build_nodes();
+  build_clients();
+  build_cross_traffic();
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::build_topology() {
+  net::TopologyParams tp;
+  tp.latas = cfg_.latas();
+  tp.servers_per_lata = cfg_.servers_per_lata();
+  tp.client_hosts = std::max(1, cfg_.nodes / 4);
+  const bool cross_traffic = cfg_.ftp.offered_load_mbps > 0.0;
+  tp.extra_client_hosts = cross_traffic ? 1 : 0;
+  tp.extra_servers_per_lata = cross_traffic ? 1 : 0;
+
+  tp.host_link_rate = sim::gbps(1) / cfg_.scale;
+  tp.inter_lata_rate = (cfg_.fast_inter_lata ? sim::gbps(10) : sim::gbps(1)) / cfg_.scale;
+  tp.host_link_prop = sim::microseconds(5) * cfg_.scale;
+  tp.inter_lata_prop = sim::microseconds(5) * cfg_.scale;
+  tp.extra_inter_lata_latency = cfg_.extra_inter_lata_latency * cfg_.scale;
+
+  tp.qos.ecn_mark_threshold_bytes =
+      cfg_.ecn_marking ? sim::kilobytes(32) : 0;
+  tp.qos.scheduler = cfg_.qos.scheduler;
+  tp.qos.wfq_weight = cfg_.qos.wfq_weight;
+  if (cfg_.qos.wred) tp.qos.drop = net::DropPolicy::kWred;
+  if (cfg_.qos.af_police_mbps > 0.0) {
+    tp.qos.police[static_cast<std::size_t>(net::Dscp::kAF21)] = {
+        cfg_.qos.af_police_mbps * 1e6 / cfg_.scale, sim::kilobytes(64)};
+  }
+
+  net::RouterParams router;
+  router.forwarding_rate_pps = cfg_.router_pps_at_scale100 * 100.0 / cfg_.scale;
+  tp.inner_router = router;
+  tp.outer_router = router;
+
+  topo_ = std::make_unique<net::Topology>(engine_, tp);
+}
+
+void Cluster::build_nodes() {
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(engine_, cfg_, i, topo_->server_nic(i),
+                                            *db_, &global_clock_, rngs_));
+  }
+  for (auto& node : nodes_) node->start_listeners();
+
+  if (cfg_.central_logging && cfg_.nodes > 1) {
+    // Fig 9: node 0 performs all logging; other nodes ship flushes over IPC.
+    Node* log_node = nodes_[0].get();
+    log_node->fusion().set_log_writer([log_node](sim::Bytes bytes) -> sim::Task<void> {
+      log_node->log_manager().append(bytes);
+      co_await log_node->log_manager().flush();
+    });
+    for (int i = 1; i < cfg_.nodes; ++i) {
+      Node* node = nodes_[static_cast<std::size_t>(i)].get();
+      node->log_manager().set_remote_flush(
+          [node](sim::Bytes bytes) -> sim::Task<void> {
+            co_await node->fusion().remote_log_flush(0, bytes);
+          });
+    }
+  }
+}
+
+void Cluster::build_clients() {
+  std::vector<net::Address> server_addrs;
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    server_addrs.push_back(topo_->server_nic(i).address());
+  }
+  const std::int64_t warehouses = db_->scale().warehouses;
+  const int nodes = cfg_.nodes;
+  auto owner = [warehouses, nodes](std::int64_t w) {
+    const std::int64_t idx = std::clamp<std::int64_t>(w - 1, 0, warehouses - 1);
+    return static_cast<int>(idx * nodes / warehouses);
+  };
+
+  const int total_terminals = cfg_.nodes * cfg_.terminals_per_node;
+  const int hosts = topo_->num_clients();
+  int assigned = 0;
+  for (int h = 0; h < hosts; ++h) {
+    auto stack = std::make_unique<net::TcpStack>(
+        engine_, topo_->client_nic(h), net::TcpParams{.timer_scale = 0.01 * cfg_.scale},
+        cfg_.hw_tcp ? net::TcpCostModel::hardware() : net::TcpCostModel::software(),
+        [](sim::PathLength, cpu::JobClass) -> sim::Task<void> { co_return; });
+    const int share = (total_terminals - assigned) / (hosts - h);
+    workload::TerminalFleetParams fp;
+    fp.terminals = share;
+    fp.first_terminal_index = assigned;
+    fp.think_time = cfg_.think_time * cfg_.scale;
+    fp.open_loop_rate =
+        cfg_.open_loop_bt_rate_per_node * cfg_.nodes / hosts;
+    fp.affinity = cfg_.affinity;
+    fp.warehouses = warehouses;
+    fp.nodes = cfg_.nodes;
+    fp.server_addrs = server_addrs;
+    fp.owner_of_warehouse = owner;
+    fp.start_gate = ready_.get();
+    fleets_.push_back(std::make_unique<workload::TerminalFleet>(
+        engine_, *stack, db_->scale(), std::move(fp), rngs_));
+    client_stacks_.push_back(std::move(stack));
+    assigned += share;
+  }
+}
+
+void Cluster::build_cross_traffic() {
+  if (cfg_.ftp.offered_load_mbps <= 0.0) return;
+  // Extra servers inside each LATA; extra client at the outer router, so FTP
+  // flows share the inter-LATA links with DBMS traffic (Fig 1).
+  std::vector<net::Address> ftp_servers;
+  for (int s = 0; s < topo_->num_extra_servers(); ++s) {
+    auto stack = std::make_unique<net::TcpStack>(
+        engine_, topo_->extra_server_nic(s),
+        net::TcpParams{.timer_scale = 0.01 * cfg_.scale}, net::TcpCostModel::hardware(),
+        [](sim::PathLength, cpu::JobClass) -> sim::Task<void> { co_return; });
+    ftp_servers_.push_back(std::make_unique<proto::FtpServer>(engine_, *stack, 21));
+    ftp_servers.push_back(topo_->extra_server_nic(s).address());
+    xtra_stacks_.push_back(std::move(stack));
+  }
+  auto stack = std::make_unique<net::TcpStack>(
+      engine_, topo_->extra_client_nic(0),
+      net::TcpParams{.timer_scale = 0.01 * cfg_.scale}, net::TcpCostModel::hardware(),
+      [](sim::PathLength, cpu::JobClass) -> sim::Task<void> { co_return; });
+  proto::FtpTrafficParams fparams;
+  fparams.offered_load_bps = cfg_.ftp.offered_load_mbps * 1e6 / cfg_.scale;
+  fparams.dscp = cfg_.ftp.high_priority ? net::Dscp::kAF21 : net::Dscp::kBestEffort;
+  ftp_clients_.push_back(std::make_unique<proto::FtpClient>(
+      engine_, *stack, std::move(ftp_servers), fparams, rngs_.stream("ftp")));
+  xtra_stacks_.push_back(std::move(stack));
+}
+
+sim::DetachedTask Cluster::connect_everything() {
+  // All sessions are established concurrently (a sequential handshake chain
+  // would push cluster bring-up into the measurement window on high-latency
+  // fabrics). One duplex IPC connection per unordered node pair, plus a
+  // directed iSCSI session from every initiator to every target.
+  auto wg = std::make_shared<sim::WaitGroup>(engine_);
+  auto connect_ipc = [this, wg](int i, int j) -> sim::Task<void> {
+    auto conn = nodes_[static_cast<std::size_t>(i)]->tcp().connect(
+        topo_->server_nic(j).address(), Node::ipc_port_for(i));
+    auto channel = std::make_shared<proto::MsgChannel>(conn);
+    co_await conn->established().wait();
+    nodes_[static_cast<std::size_t>(i)]->ipc().attach_peer(j, channel);
+    wg->done();
+  };
+  auto connect_iscsi = [this, wg](int i, int j) -> sim::Task<void> {
+    auto conn = nodes_[static_cast<std::size_t>(i)]->tcp().connect(
+        topo_->server_nic(j).address(), Node::iscsi_port_for(i));
+    auto channel = std::make_shared<proto::MsgChannel>(conn);
+    co_await conn->established().wait();
+    nodes_[static_cast<std::size_t>(i)]->iscsi_initiator(j).attach(channel);
+    wg->done();
+  };
+  bool any = false;
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    for (int j = i + 1; j < cfg_.nodes; ++j) {
+      wg->add();
+      any = true;
+      sim::spawn(connect_ipc(i, j));
+    }
+    for (int j = 0; j < cfg_.nodes; ++j) {
+      if (i == j) continue;
+      wg->add();
+      any = true;
+      sim::spawn(connect_iscsi(i, j));
+    }
+  }
+  if (any) co_await wg->wait();
+  ready_->open();
+}
+
+sim::DetachedTask Cluster::version_gc_loop() {
+  for (;;) {
+    co_await sim::delay_for(engine_, 0.25);
+    const db::Timestamp min_active =
+        global_clock_ > 2'000 ? global_clock_ - 2'000 : 0;
+    for (auto& node : nodes_) {
+      node->versions().gc(min_active, 512);
+    }
+  }
+}
+
+void Cluster::reset_all_stats() {
+  for (auto& node : nodes_) node->reset_stats();
+  topo_->reset_stats();
+  for (auto& ftp : ftp_clients_) ftp->reset_stats();
+}
+
+void Cluster::prewarm() {
+  // Seed each node's buffer cache with its partition's hot pages (and the
+  // cluster directories with matching holder records), hottest tables first.
+  // A real deployment measures steady state, not a cold cache; faulting the
+  // working set through the 100x-slowed disks would consume the entire run.
+  cluster::PartitionMap pm(*db_, cfg_.nodes);
+  auto warm_page = [this](db::PageId page, int home) {
+    auto& node = *nodes_[static_cast<std::size_t>(home)];
+    if (node.cache().size() * 10 >= node.cache().capacity() * 9) return;
+    node.cache().insert(page, db::PageMode::kShared);
+    const int dh = node.fusion().dir_home(page);
+    nodes_[static_cast<std::size_t>(dh)]->directory().confirm(page, home);
+  };
+  auto warm_table = [&](const auto& table) {
+    if (table.spec().clustered) {
+      // Pages are keyed; enumerate them through the index.
+      db::PageId last = 0;
+      for (auto it = table.lower_bound(0); it.valid(); it.next()) {
+        const db::PageId page = table.data_page_of_key(it.key());
+        if (page != last) {
+          warm_page(page, pm.home_of_page(page));
+          last = page;
+        }
+      }
+    } else {
+      for (std::uint64_t p = 0; p < table.data_pages(); ++p) {
+        const db::PageId page = db::make_page_id(table.spec().id, false, p);
+        warm_page(page, pm.home_of_page(page));
+      }
+    }
+    // Index leaf pages are key-range derived; enumerate them the same way
+    // the access path does.
+    db::PageId last_leaf = 0;
+    bool first_leaf = true;
+    for (auto it = table.lower_bound(0); it.valid(); it.next()) {
+      const db::PageId page = table.index_page_of(it.key());
+      if (first_leaf || page != last_leaf) {
+        warm_page(page, pm.home_of_page(page));
+        last_leaf = page;
+        first_leaf = false;
+      }
+    }
+  };
+
+  warm_table(db_->warehouse);
+  warm_table(db_->district);
+  warm_table(db_->item);
+  warm_table(db_->stock);
+  warm_table(db_->new_order);
+  warm_table(db_->order);
+  warm_table(db_->order_line);
+  warm_table(db_->customer);
+}
+
+RunReport Cluster::run() {
+  prewarm();
+  connect_everything();
+  version_gc_loop();
+  for (auto& fleet : fleets_) fleet->start();
+  for (auto& ftp : ftp_clients_) ftp->start();
+
+  engine_.run_until(cfg_.warmup);
+  reset_all_stats();
+  engine_.run_until(cfg_.warmup + cfg_.measure);
+  return collect(cfg_.measure);
+}
+
+RunReport Cluster::collect(sim::Duration measured) {
+  RunReport r;
+  r.nodes = cfg_.nodes;
+  r.affinity = cfg_.affinity;
+  r.measure_seconds = measured;
+
+  double committed = 0, aborted = 0, new_orders = 0;
+  double ctrl = 0, data = 0;
+  double lock_acq = 0, lock_waits = 0, lock_failures = 0;
+  sim::Tally lock_wait_all, ctrl_delay_all;
+  double hits = 0, misses = 0, disk_reads = 0, remote = 0;
+  sim::Tally t_total, t_phase1, t_locks, t_log, t_apply;
+  double threads = 0, csw = 0, cpi = 0, util = 0;
+  for (auto& node : nodes_) {
+    auto& s = node->stats();
+    committed += static_cast<double>(s.txns_committed.count());
+    aborted += static_cast<double>(s.txns_aborted.count());
+    new_orders += static_cast<double>(s.new_orders_committed.count());
+    ctrl += static_cast<double>(s.ipc_control_sent.count());
+    data += static_cast<double>(s.ipc_data_sent.count());
+    lock_acq += static_cast<double>(s.lock_acquisitions.count());
+    lock_waits += static_cast<double>(s.lock_waits.count());
+    lock_failures += static_cast<double>(s.lock_failures.count());
+    lock_wait_all.merge(s.lock_wait_time);
+    ctrl_delay_all.merge(s.control_msg_delay);
+    t_total.merge(s.t_total);
+    t_phase1.merge(s.t_phase1);
+    t_locks.merge(s.t_locks);
+    t_log.merge(s.t_log);
+    t_apply.merge(s.t_apply);
+    hits += static_cast<double>(s.buffer_hits.count());
+    misses += static_cast<double>(s.buffer_misses.count());
+    disk_reads += static_cast<double>(s.disk_reads.count());
+    remote += static_cast<double>(s.remote_fetches.count());
+    threads += node->processor().avg_active_threads();
+    csw += node->processor().context_switch_cost_cycles().mean();
+    cpi += node->processor().avg_cpi();
+    util += node->processor().utilization();
+  }
+  const double n = static_cast<double>(cfg_.nodes);
+  const double txns = std::max(committed, 1.0);
+  r.txns = committed;
+  r.txn_rate = committed / measured;
+  r.tpmc = new_orders / measured * 60.0 * cfg_.scale;
+  r.ipc_control_per_txn = ctrl / txns;
+  r.ipc_data_per_txn = data / txns;
+  r.lock_waits_per_txn = lock_waits / txns;
+  r.lock_failures_per_txn = lock_failures / txns;
+  r.lock_wait_time_ms = lock_wait_all.mean() / cfg_.scale * 1e3;
+  r.control_msg_delay_ms = ctrl_delay_all.mean() / cfg_.scale * 1e3;
+  r.buffer_hit_ratio = (hits + misses) > 0 ? hits / (hits + misses) : 0.0;
+  r.disk_reads_per_txn = disk_reads / txns;
+  r.remote_fetch_per_txn = remote / txns;
+  r.avg_active_threads = threads / n;
+  r.avg_context_switch_cycles = csw / n;
+  r.avg_cpi = cpi / n;
+  r.cpu_utilization = util / n;
+  r.abort_rate = (committed + aborted) > 0 ? aborted / (committed + aborted) : 0.0;
+  const double ms = 1e3 / cfg_.scale;  // scaled seconds -> unscaled ms
+  r.txn_ms = t_total.mean() * ms;
+  r.txn_phase1_ms = t_phase1.mean() * ms;
+  r.txn_lock_ms = t_locks.mean() * ms;
+  r.txn_log_ms = t_log.mean() * ms;
+  r.txn_apply_ms = t_apply.mean() * ms;
+
+  sim::Bytes inter_bytes = 0;
+  for (int lata = 0; lata < cfg_.latas(); ++lata) {
+    inter_bytes += topo_->lata_uplink(lata).bytes_sent();
+    inter_bytes += topo_->lata_downlink(lata).bytes_sent();
+  }
+  r.inter_lata_mbps =
+      static_cast<double>(inter_bytes) * 8.0 / measured / 1e6 * cfg_.scale /
+      std::max(1, 2 * cfg_.latas());
+  r.fabric_drops = topo_->total_drops();
+
+  for (auto& fleet : fleets_) {
+    r.business_txns += static_cast<double>(fleet->business_txns_completed());
+    r.admission_drops += fleet->admission_drops();
+    r.client_conn_failures += fleet->connection_failures();
+  }
+  sim::Bytes ftp_bytes = 0;
+  for (auto& ftp : ftp_clients_) ftp_bytes += ftp->bytes_carried();
+  r.ftp_carried_mbps =
+      static_cast<double>(ftp_bytes) * 8.0 / measured / 1e6 * cfg_.scale;
+  return r;
+}
+
+}  // namespace dclue::core

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file cluster.hpp
+/// Top-level experiment runner: builds the Fig-1 topology, the server nodes,
+/// client terminal fleets and optional FTP cross traffic from a
+/// ClusterConfig; wires up all IPC and iSCSI sessions; runs warmup and
+/// measurement windows; and produces the RunReport the benches print.
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/node.hpp"
+#include "db/tpcc_schema.hpp"
+#include "net/topology.hpp"
+#include "proto/ftp.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "workload/client.hpp"
+
+namespace dclue::core {
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+  ~Cluster();
+
+  /// Populate, connect, warm up, measure; returns the collected report.
+  RunReport run();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] db::TpccDatabase& database() { return *db_; }
+  [[nodiscard]] Node& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] workload::TerminalFleet& fleet(int i) {
+    return *fleets_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] int num_fleets() const { return static_cast<int>(fleets_.size()); }
+  [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
+  [[nodiscard]] net::Topology& topology() { return *topo_; }
+
+ private:
+  void build_topology();
+  void build_nodes();
+  void build_clients();
+  void build_cross_traffic();
+  void prewarm();
+  sim::DetachedTask connect_everything();
+  sim::DetachedTask version_gc_loop();
+  void reset_all_stats();
+  RunReport collect(sim::Duration measured);
+
+  ClusterConfig cfg_;
+  sim::Engine engine_;
+  sim::RngFactory rngs_;
+  std::unique_ptr<db::TpccDatabase> db_;
+  std::unique_ptr<net::Topology> topo_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<net::TcpStack>> client_stacks_;
+  std::vector<std::unique_ptr<workload::TerminalFleet>> fleets_;
+  std::vector<std::unique_ptr<net::TcpStack>> xtra_stacks_;
+  std::vector<std::unique_ptr<proto::FtpServer>> ftp_servers_;
+  std::vector<std::unique_ptr<proto::FtpClient>> ftp_clients_;
+  std::unique_ptr<sim::Gate> ready_;
+  std::uint64_t global_clock_ = 1;
+};
+
+}  // namespace dclue::core

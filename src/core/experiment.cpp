@@ -1,0 +1,88 @@
+#include "core/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dclue::core {
+
+RunReport run_experiment(const ClusterConfig& cfg) {
+  Cluster cluster(cfg);
+  return cluster.run();
+}
+
+RunReport run_experiment_avg(ClusterConfig cfg, int replications) {
+  RunReport avg;
+  for (int r = 0; r < replications; ++r) {
+    cfg.seed = cfg.seed * 1315423911ULL + 17;
+    RunReport one = run_experiment(cfg);
+    const double k = 1.0 / static_cast<double>(r + 1);
+    auto blend = [k](double& acc, double v) { acc += (v - acc) * k; };
+    blend(avg.tpmc, one.tpmc);
+    blend(avg.txn_rate, one.txn_rate);
+    blend(avg.txns, one.txns);
+    blend(avg.ipc_control_per_txn, one.ipc_control_per_txn);
+    blend(avg.ipc_data_per_txn, one.ipc_data_per_txn);
+    blend(avg.control_msg_delay_ms, one.control_msg_delay_ms);
+    blend(avg.lock_waits_per_txn, one.lock_waits_per_txn);
+    blend(avg.lock_wait_time_ms, one.lock_wait_time_ms);
+    blend(avg.lock_failures_per_txn, one.lock_failures_per_txn);
+    blend(avg.buffer_hit_ratio, one.buffer_hit_ratio);
+    blend(avg.disk_reads_per_txn, one.disk_reads_per_txn);
+    blend(avg.remote_fetch_per_txn, one.remote_fetch_per_txn);
+    blend(avg.avg_active_threads, one.avg_active_threads);
+    blend(avg.avg_context_switch_cycles, one.avg_context_switch_cycles);
+    blend(avg.avg_cpi, one.avg_cpi);
+    blend(avg.cpu_utilization, one.cpu_utilization);
+    blend(avg.inter_lata_mbps, one.inter_lata_mbps);
+    blend(avg.abort_rate, one.abort_rate);
+    blend(avg.ftp_carried_mbps, one.ftp_carried_mbps);
+    avg.fabric_drops += one.fabric_drops;
+    avg.nodes = one.nodes;
+    avg.affinity = one.affinity;
+    avg.measure_seconds = one.measure_seconds;
+  }
+  return avg;
+}
+
+ClusterConfig default_config() {
+  ClusterConfig cfg;
+  if (const char* fast = std::getenv("REPRO_FAST"); fast && fast[0] == '1') {
+    cfg.warmup = 3.0;
+    cfg.measure = 8.0;
+  }
+  return cfg;
+}
+
+SeriesTable::SeriesTable(std::string title) : title_(std::move(title)) {}
+
+void SeriesTable::add_column(std::string header) {
+  headers_.push_back(std::move(header));
+}
+
+void SeriesTable::add_row(const std::vector<double>& values) {
+  rows_.push_back(values);
+}
+
+void SeriesTable::print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (const auto& h : headers_) std::printf("%16s", h.c_str());
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (double v : row) std::printf("%16.3f", v);
+    std::printf("\n");
+  }
+  // CSV block for scripted consumption.
+  std::printf("# csv: ");
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    std::printf("%s%s", headers_[i].c_str(), i + 1 < headers_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    std::printf("# csv: ");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%.6g%s", row[i], i + 1 < row.size() ? "," : "\n");
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace dclue::core

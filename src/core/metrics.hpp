@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Everything the paper's figures plot, collected per node and aggregated
+/// per run. All quantities are measured from the functioning simulation
+/// (DCLUE's philosophy) over the post-warmup window.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.hpp"
+
+namespace dclue::core {
+
+/// Per-node measurement accumulators.
+struct NodeStats {
+  // Transactions
+  sim::Counter txns_committed;
+  sim::Counter txns_aborted;
+  sim::Counter new_orders_committed;
+
+  // IPC (cache fusion + lock + log traffic)
+  sim::Counter ipc_control_sent;
+  sim::Counter ipc_data_sent;
+  std::int64_t ipc_control_bytes = 0;
+  std::int64_t ipc_data_bytes = 0;
+  sim::Tally control_msg_delay;  ///< send->receive end-to-end
+
+  // Locking
+  sim::Counter lock_acquisitions;
+  sim::Counter lock_waits;
+  sim::Counter lock_failures;  ///< release-and-retry events
+  sim::Tally lock_wait_time;
+
+  // Buffer cache / storage
+  sim::Counter buffer_hits;
+  sim::Counter buffer_misses;
+  sim::Counter remote_fetches;  ///< pages served from another node's cache
+  std::array<std::uint64_t, 16> remote_by_table{};  ///< indexed by TableId
+  std::array<std::uint64_t, 16> remote_index_by_table{};
+  std::array<std::uint64_t, 16> disk_by_table{};
+  std::array<std::uint64_t, 16> disk_index_by_table{};
+  sim::Counter disk_reads;
+  sim::Counter iscsi_reads;
+
+  // Transaction time breakdown: where a transaction's latency goes
+  // (all values in scaled seconds, one sample per committed transaction).
+  sim::Tally t_total;
+  sim::Tally t_phase1;     ///< reads/latches incl. page fetches
+  sim::Tally t_locks;      ///< phase-2 global lock conversion (+retries)
+  sim::Tally t_log;        ///< WAL flush at commit
+  sim::Tally t_apply;      ///< version creation + row mutation + commit work
+
+  // Dirty-page production since the last checkpoint (bytes of log written
+  // by transactions that mutated pages at THIS node, independent of where
+  // the log itself is stored). Consumed by the checkpoint extension.
+  sim::Bytes dirty_bytes_accum = 0;
+
+  // Live stage gauges (where in-flight transactions currently sit); purely
+  // diagnostic, not part of the paper's figures.
+  int in_phase1 = 0;
+  int in_fusion = 0;
+  int in_lock_wait = 0;
+  int in_log_flush = 0;
+  int in_dir_rpc = 0;
+  int in_block_wait = 0;
+  int in_disk = 0;
+  int in_inflight_wait = 0;
+
+  void reset() {
+    const int p1 = in_phase1, fu = in_fusion, lw = in_lock_wait, lf = in_log_flush;
+    const int dr = in_dir_rpc, bw = in_block_wait, dk = in_disk, iw = in_inflight_wait;
+    const sim::Bytes dirty = dirty_bytes_accum;
+    *this = NodeStats{};
+    dirty_bytes_accum = dirty;
+    in_phase1 = p1;
+    in_fusion = fu;
+    in_lock_wait = lw;
+    in_log_flush = lf;
+    in_dir_rpc = dr;
+    in_block_wait = bw;
+    in_disk = dk;
+    in_inflight_wait = iw;
+  }
+};
+
+/// Aggregated run outcome, scaled back to original-system units.
+struct RunReport {
+  int nodes = 0;
+  double affinity = 0.0;
+  double measure_seconds = 0.0;  ///< scaled sim time measured
+
+  double tpmc = 0.0;              ///< new-orders/min, unscaled equivalent
+  double txn_rate = 0.0;          ///< all txns/sec, scaled domain
+  double txns = 0.0;
+
+  double ipc_control_per_txn = 0.0;
+  double ipc_data_per_txn = 0.0;
+  double control_msg_delay_ms = 0.0;  ///< unscaled ms
+  double lock_waits_per_txn = 0.0;
+  double lock_wait_time_ms = 0.0;     ///< unscaled ms
+  double lock_failures_per_txn = 0.0;
+  double buffer_hit_ratio = 0.0;
+  double disk_reads_per_txn = 0.0;
+  double remote_fetch_per_txn = 0.0;
+
+  double avg_active_threads = 0.0;
+  double avg_context_switch_cycles = 0.0;
+  double avg_cpi = 0.0;
+  double cpu_utilization = 0.0;
+
+  double inter_lata_mbps = 0.0;  ///< unscaled equivalent DBMS+cross traffic
+  std::uint64_t fabric_drops = 0;
+  double abort_rate = 0.0;
+
+  // Latency budget of an average committed transaction (unscaled ms).
+  double txn_ms = 0.0;
+  double txn_phase1_ms = 0.0;
+  double txn_lock_ms = 0.0;
+  double txn_log_ms = 0.0;
+  double txn_apply_ms = 0.0;
+
+  double ftp_carried_mbps = 0.0;  ///< unscaled
+
+  // Client-side accounting
+  double business_txns = 0.0;
+  std::uint64_t admission_drops = 0;
+  std::uint64_t client_conn_failures = 0;
+};
+
+}  // namespace dclue::core

@@ -1,0 +1,182 @@
+#include "core/node.hpp"
+
+#include <cmath>
+
+#include "cluster/partition.hpp"
+
+namespace dclue::core {
+namespace {
+
+net::CpuCharge make_charge(cpu::Processor* proc) {
+  return [proc](sim::PathLength pl, cpu::JobClass cls) -> sim::Task<void> {
+    if (pl > 0.0) co_await proc->compute(pl, cls, cpu::kNoThread);
+  };
+}
+
+}  // namespace
+
+Node::Node(sim::Engine& engine, const ClusterConfig& cfg, int id, net::Nic& nic,
+           db::TpccDatabase& db, std::uint64_t* global_clock,
+           const sim::RngFactory& rngs)
+    : engine_(engine),
+      cfg_(cfg),
+      id_(id),
+      rng_(rngs.stream("node", static_cast<std::uint64_t>(id))) {
+  // --- platform -------------------------------------------------------------
+  const cpu::PlatformParams platform = cpu::PlatformParams{}.scaled(cfg.scale);
+  mem_ = std::make_unique<cpu::MemorySystem>(engine, platform);
+  proc_ = std::make_unique<cpu::Processor>(engine, platform, *mem_);
+
+  // --- fabric ---------------------------------------------------------------
+  net::TcpParams tcp_params;
+  tcp_params.timer_scale = 0.01 * cfg.scale;  // DC-reduced, then slowed
+  const net::TcpCostModel tcp_costs =
+      cfg.hw_tcp ? net::TcpCostModel::hardware() : net::TcpCostModel::software();
+  tcp_ = std::make_unique<net::TcpStack>(engine, nic, tcp_params, tcp_costs,
+                                         make_charge(proc_.get()));
+
+  // --- storage ----------------------------------------------------------------
+  const storage::DiskParams disk_params = storage::DiskParams{}.scaled(cfg.scale);
+  data_disk_ = std::make_unique<storage::DiskArray>(
+      engine, "data" + std::to_string(id), cfg.data_spindles, disk_params);
+  log_disk_ = std::make_unique<storage::Disk>(engine, "log" + std::to_string(id),
+                                              disk_params);
+  const proto::IscsiCostModel iscsi_costs = cfg.hw_iscsi
+                                                ? proto::IscsiCostModel::hardware()
+                                                : proto::IscsiCostModel::software();
+  iscsi_target_ = std::make_unique<proto::IscsiTarget>(
+      engine, *data_disk_, make_charge(proc_.get()), iscsi_costs);
+  iscsi_initiators_.resize(static_cast<std::size_t>(cfg.nodes));
+  for (int peer = 0; peer < cfg.nodes; ++peer) {
+    if (peer == id) continue;
+    iscsi_initiators_[static_cast<std::size_t>(peer)] =
+        std::make_unique<proto::IscsiInitiator>(engine, make_charge(proc_.get()),
+                                                iscsi_costs);
+  }
+
+  // --- database services ------------------------------------------------------
+  const auto capacity = static_cast<std::size_t>(
+      std::max<double>(64.0, cfg.buffer_fraction *
+                                 static_cast<double>(db.total_data_pages())));
+  cache_ = std::make_unique<db::BufferCache>(capacity);
+  directory_ = std::make_unique<cluster::DirectoryService>();
+  locks_ = std::make_unique<db::LockManager>(engine);
+  versions_ = std::make_unique<db::VersionManager>(engine, cfg.version_overflow_bytes,
+                                                   *cache_);
+  log_ = std::make_unique<db::LogManager>(engine, log_disk_.get());
+
+  // --- IPC + fusion -----------------------------------------------------------
+  const PathLengths pl = cfg.path_lengths.with_computation_factor(cfg.computation_factor);
+  ipc_ = std::make_unique<cluster::IpcService>(engine, id, stats_, pl.ipc_handler,
+                                               make_charge(proc_.get()));
+  cluster::FusionDeps deps;
+  deps.engine = &engine;
+  deps.node_id = id;
+  deps.num_nodes = cfg.nodes;
+  deps.ipc = ipc_.get();
+  deps.cache = cache_.get();
+  deps.directory = directory_.get();
+  deps.locks = locks_.get();
+  deps.versions = versions_.get();
+  deps.data_disk = data_disk_.get();
+  deps.iscsi.resize(static_cast<std::size_t>(cfg.nodes));
+  for (int peer = 0; peer < cfg.nodes; ++peer) {
+    deps.iscsi[static_cast<std::size_t>(peer)] =
+        iscsi_initiators_[static_cast<std::size_t>(peer)].get();
+  }
+  deps.charge = make_charge(proc_.get());
+  deps.pl = pl;
+  deps.stats = &stats_;
+  deps.dir_home_fn = [pm = cluster::PartitionMap(db, cfg.nodes)](db::PageId page) {
+    return pm.home_of_page(page);
+  };
+  fusion_ = std::make_unique<cluster::FusionLayer>(std::move(deps));
+
+  // --- transaction engine ------------------------------------------------------
+  workload::NodeEnv env;
+  env.engine = &engine;
+  env.node_id = id;
+  env.num_nodes = cfg.nodes;
+  env.db = &db;
+  env.fusion = fusion_.get();
+  env.versions = versions_.get();
+  env.log = log_.get();
+  env.proc = proc_.get();
+  env.stats = &stats_;
+  env.pl = pl;
+  env.global_clock = global_clock;
+  const std::int64_t total_wh = db.scale().warehouses;
+  const int nodes = cfg.nodes;
+  env.storage_home_of_warehouse = [total_wh, nodes](std::int64_t w) {
+    const std::int64_t idx = std::clamp<std::int64_t>(w - 1, 0, total_wh - 1);
+    return static_cast<int>(idx * nodes / total_wh);
+  };
+  env.rng = &rng_;
+  env.lock_retry_delay = sim::milliseconds(0.3) * cfg.scale;
+  executor_ = std::make_unique<workload::TpccExecutor>(std::move(env));
+}
+
+void Node::start_listeners() {
+  for (int peer = 0; peer < cfg_.nodes; ++peer) {
+    if (peer == id_) continue;
+    ipc_accept(peer, tcp_->listen(ipc_port_for(peer)));
+    // iSCSI sessions: target accepts from each initiator node.
+    auto& iscsi_listener = tcp_->listen(iscsi_port_for(peer));
+    sim::spawn([](Node* self, net::TcpListener& l) -> sim::Task<void> {
+      auto conn = co_await l.accept();
+      self->iscsi_target_->serve(std::make_shared<proto::MsgChannel>(conn));
+    }(this, iscsi_listener));
+  }
+  db_accept(tcp_->listen(workload::kDbPort));
+}
+
+sim::DetachedTask Node::ipc_accept(int peer, net::TcpListener& listener) {
+  auto conn = co_await listener.accept();
+  ipc_->attach_peer(peer, std::make_shared<proto::MsgChannel>(conn));
+}
+
+sim::DetachedTask Node::db_accept(net::TcpListener& listener) {
+  for (;;) {
+    auto conn = co_await listener.accept();
+    db_session(std::move(conn));
+  }
+}
+
+sim::DetachedTask Node::db_session(std::shared_ptr<net::TcpConnection> conn) {
+  auto channel = std::make_shared<proto::MsgChannel>(conn);
+  const PathLengths pl =
+      cfg_.path_lengths.with_computation_factor(cfg_.computation_factor);
+  for (;;) {
+    proto::Message msg = co_await channel->inbox().receive();
+    if (msg.type == proto::kChannelReset) co_return;
+    if (msg.type == proto::kChannelClosed) {
+      // Terminal finished its business transaction: complete the teardown.
+      if (conn->state() != net::TcpConnection::State::kClosed) conn->close();
+      co_return;
+    }
+    if (msg.type != workload::kClientRequest) continue;
+    auto body = std::static_pointer_cast<workload::ClientRequestBody>(msg.payload);
+    // One logical DBMS thread per in-flight request: this count is what the
+    // cache-pressure and context-switch models see.
+    const cpu::ThreadId tid = next_thread_++;
+    proc_->thread_activated();
+    co_await proc_->compute(pl.client_request, cpu::JobClass::kApplication, tid);
+    const bool committed = co_await executor_->execute(body->input, tid);
+    proto::Message reply;
+    reply.type = workload::kClientReply;
+    reply.bytes = workload::kReplyBytes;
+    reply.payload =
+        std::make_shared<workload::ClientReplyBody>(workload::ClientReplyBody{committed});
+    channel->send(std::move(reply));
+    proc_->thread_deactivated();
+  }
+}
+
+void Node::reset_stats() {
+  stats_.reset();
+  proc_->reset_stats();
+  data_disk_->reset_stats();
+  log_disk_->reset_stats();
+}
+
+}  // namespace dclue::core

@@ -1,0 +1,235 @@
+#pragma once
+
+/// \file btree.hpp
+/// In-memory B+-tree with fixed fan-out, used as the primary index of every
+/// TPC-C table (DCLUE "explicitly maintains B+-tree indices for each
+/// table"). Keys are 64-bit composites; values are row ids. Leaves are
+/// linked for ordered range scans (delivery's oldest-new-order lookup,
+/// stock-level's last-20-orders scan). The tree also reports its leaf count
+/// and height so the buffer-cache layer can model index page residency.
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace dclue::db {
+
+template <typename Key, typename Value, int Fanout = 64>
+class BTree {
+  static_assert(Fanout >= 4 && Fanout % 2 == 0);
+  struct Node;
+
+ public:
+  BTree() : root_(new Node(/*leaf=*/true)) { first_leaf_ = root_.get(); }
+
+  /// Insert or overwrite.
+  void insert(Key key, Value value) {
+    Node* r = root_.get();
+    if (r->count == Fanout) {
+      auto new_root = std::make_unique<Node>(false);
+      new_root->children[0] = std::move(root_);
+      root_ = std::move(new_root);
+      split_child(root_.get(), 0);
+      r = root_.get();
+    }
+    insert_nonfull(r, key, value);
+  }
+
+  [[nodiscard]] std::optional<Value> find(Key key) const {
+    const Node* n = leaf_for(key);
+    int i = lower_bound_in(n, key);
+    if (i < n->count && n->keys[i] == key) return n->values[i];
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool contains(Key key) const { return find(key).has_value(); }
+
+  /// Remove \p key; returns true if it existed. Uses lazy deletion (leaves
+  /// may underflow) — correct for ordered iteration and fine for a workload
+  /// where deletions (retired new-order rows) are a small minority.
+  bool erase(Key key) {
+    Node* n = leaf_for_mut(key);
+    int i = lower_bound_in(n, key);
+    if (i >= n->count || n->keys[i] != key) return false;
+    for (int j = i; j + 1 < n->count; ++j) {
+      n->keys[j] = n->keys[j + 1];
+      n->values[j] = n->values[j + 1];
+    }
+    --n->count;
+    --size_;
+    return true;
+  }
+
+  /// Iterator over leaf entries, ordered by key.
+  class Iterator {
+   public:
+    Iterator() = default;
+    Iterator(const Node* leaf, int idx) : leaf_(leaf), idx_(idx) { skip_empty(); }
+
+    [[nodiscard]] bool valid() const { return leaf_ != nullptr; }
+    [[nodiscard]] Key key() const { return leaf_->keys[idx_]; }
+    [[nodiscard]] Value value() const { return leaf_->values[idx_]; }
+
+    void next() {
+      ++idx_;
+      skip_empty();
+    }
+
+   private:
+    void skip_empty() {
+      while (leaf_ && idx_ >= leaf_->count) {
+        leaf_ = leaf_->next;
+        idx_ = 0;
+      }
+    }
+    const Node* leaf_ = nullptr;
+    int idx_ = 0;
+  };
+
+  /// First entry with key >= \p key.
+  [[nodiscard]] Iterator lower_bound(Key key) const {
+    const Node* n = leaf_for(key);
+    return Iterator(n, lower_bound_in(n, key));
+  }
+
+  [[nodiscard]] Iterator begin() const { return Iterator(first_leaf_, 0); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] int height() const {
+    int h = 1;
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      n = n->children[0].get();
+      ++h;
+    }
+    return h;
+  }
+
+  [[nodiscard]] std::size_t leaf_count() const {
+    std::size_t c = 0;
+    for (const Node* n = first_leaf_; n; n = n->next) ++c;
+    return c;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    int count = 0;
+    std::array<Key, Fanout> keys{};
+    // Leaves hold values; inner nodes hold children (count+1 of them).
+    std::array<Value, Fanout> values{};
+    std::array<std::unique_ptr<Node>, Fanout + 1> children{};
+    Node* next = nullptr;  ///< leaf chain
+  };
+
+  static int lower_bound_in(const Node* n, Key key) {
+    return static_cast<int>(
+        std::lower_bound(n->keys.begin(), n->keys.begin() + n->count, key) -
+        n->keys.begin());
+  }
+
+  [[nodiscard]] const Node* leaf_for(Key key) const {
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      int i = upper_bound_in(n, key);
+      n = n->children[static_cast<std::size_t>(i)].get();
+    }
+    return n;
+  }
+  [[nodiscard]] Node* leaf_for_mut(Key key) {
+    return const_cast<Node*>(leaf_for(key));
+  }
+
+  static int upper_bound_in(const Node* n, Key key) {
+    return static_cast<int>(
+        std::upper_bound(n->keys.begin(), n->keys.begin() + n->count, key) -
+        n->keys.begin());
+  }
+
+  /// Split full child \p i of \p parent (classic B-tree preemptive split).
+  void split_child(Node* parent, int i) {
+    Node* child = parent->children[static_cast<std::size_t>(i)].get();
+    auto right = std::make_unique<Node>(child->leaf);
+    const int mid = Fanout / 2;
+
+    if (child->leaf) {
+      // Right keeps keys[mid..); separator key is right's first key.
+      right->count = child->count - mid;
+      for (int j = 0; j < right->count; ++j) {
+        right->keys[j] = child->keys[mid + j];
+        right->values[j] = child->values[mid + j];
+      }
+      child->count = mid;
+      right->next = child->next;
+      child->next = right.get();
+      // Shift parent entries to make room.
+      for (int j = parent->count; j > i; --j) {
+        parent->keys[j] = parent->keys[j - 1];
+        parent->children[static_cast<std::size_t>(j + 1)] =
+            std::move(parent->children[static_cast<std::size_t>(j)]);
+      }
+      parent->keys[i] = right->keys[0];
+      parent->children[static_cast<std::size_t>(i + 1)] = std::move(right);
+      ++parent->count;
+    } else {
+      // Inner split: median moves up.
+      right->count = child->count - mid - 1;
+      for (int j = 0; j < right->count; ++j) {
+        right->keys[j] = child->keys[mid + 1 + j];
+      }
+      for (int j = 0; j <= right->count; ++j) {
+        right->children[static_cast<std::size_t>(j)] =
+            std::move(child->children[static_cast<std::size_t>(mid + 1 + j)]);
+      }
+      Key median = child->keys[mid];
+      child->count = mid;
+      for (int j = parent->count; j > i; --j) {
+        parent->keys[j] = parent->keys[j - 1];
+        parent->children[static_cast<std::size_t>(j + 1)] =
+            std::move(parent->children[static_cast<std::size_t>(j)]);
+      }
+      parent->keys[i] = median;
+      parent->children[static_cast<std::size_t>(i + 1)] = std::move(right);
+      ++parent->count;
+    }
+  }
+
+  void insert_nonfull(Node* n, Key key, Value value) {
+    while (!n->leaf) {
+      int i = upper_bound_in(n, key);
+      Node* child = n->children[static_cast<std::size_t>(i)].get();
+      if (child->count == Fanout) {
+        split_child(n, i);
+        if (key >= n->keys[i]) ++i;
+        child = n->children[static_cast<std::size_t>(i)].get();
+      }
+      n = child;
+    }
+    int i = lower_bound_in(n, key);
+    if (i < n->count && n->keys[i] == key) {
+      n->values[i] = value;  // overwrite
+      return;
+    }
+    for (int j = n->count; j > i; --j) {
+      n->keys[j] = n->keys[j - 1];
+      n->values[j] = n->values[j - 1];
+    }
+    n->keys[i] = key;
+    n->values[i] = value;
+    ++n->count;
+    ++size_;
+  }
+
+  std::unique_ptr<Node> root_;
+  Node* first_leaf_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dclue::db

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file buffer_cache.hpp
+/// Per-node buffer cache. The database content lives once in memory (see
+/// tpcc_schema.hpp); what the cache tracks is *residency and coherence
+/// state* of pages at each node — exactly DCLUE's approach ("since the
+/// entire database is sitting in the main memory, buffer cache operations
+/// merely change status of the pages in question"). Hit ratios are an
+/// output of this machinery, never an input.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "db/table.hpp"
+#include "sim/stats.hpp"
+
+namespace dclue::db {
+
+/// Coherence state of a locally cached page (MESI-like but directory-based;
+/// exclusive = this node may produce new versions of the page's rows).
+enum class PageMode : std::uint8_t { kShared = 0, kExclusive = 1 };
+
+class BufferCache {
+ public:
+  explicit BufferCache(std::size_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  /// Is \p page resident with at least \p mode?
+  [[nodiscard]] bool contains(PageId page, PageMode mode) const {
+    auto it = map_.find(page);
+    if (it == map_.end()) return false;
+    return mode == PageMode::kShared || it->second.mode == PageMode::kExclusive;
+  }
+  [[nodiscard]] bool resident(PageId page) const { return map_.contains(page); }
+
+  /// Record a fetched page; LRU-evicts to make room. Evicted (unpinned)
+  /// pages are returned so the coherence layer can notify their directory.
+  std::vector<PageId> insert(PageId page, PageMode mode);
+
+  /// Promote a resident page to exclusive (after coherence permission).
+  void upgrade(PageId page) {
+    auto it = map_.find(page);
+    if (it != map_.end()) it->second.mode = PageMode::kExclusive;
+  }
+
+  /// Invalidate (remote node took exclusive ownership).
+  bool invalidate(PageId page) {
+    auto it = map_.find(page);
+    if (it == map_.end()) return false;
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    return true;
+  }
+
+  /// Mark recently used.
+  void touch(PageId page) {
+    auto it = map_.find(page);
+    if (it == map_.end()) return;
+    lru_.splice(lru_.end(), lru_, it->second.lru_it);
+  }
+
+  void pin(PageId page) {
+    auto it = map_.find(page);
+    if (it != map_.end()) ++it->second.pins;
+  }
+  void unpin(PageId page) {
+    auto it = map_.find(page);
+    if (it != map_.end() && it->second.pins > 0) --it->second.pins;
+  }
+
+  /// Give up \p n unpinned pages to the version overflow area (the paper:
+  /// "unpinned pages from the buffer cache are stolen to replenish it").
+  /// Returns the stolen pages; capacity shrinks accordingly.
+  std::vector<PageId> steal_for_versions(std::size_t n);
+
+  /// Return previously stolen capacity (version GC freed space).
+  void restore_capacity(std::size_t n) { capacity_ += n; }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    PageMode mode;
+    int pins = 0;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  /// Pop the least recently used unpinned page; returns 0 when none.
+  PageId evict_one();
+
+  std::size_t capacity_;
+  std::unordered_map<PageId, Entry> map_;
+  std::list<PageId> lru_;  ///< front = coldest
+};
+
+inline std::vector<PageId> BufferCache::insert(PageId page, PageMode mode) {
+  std::vector<PageId> evicted;
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    if (mode == PageMode::kExclusive) it->second.mode = PageMode::kExclusive;
+    touch(page);
+    return evicted;
+  }
+  while (map_.size() >= capacity_) {
+    PageId victim = evict_one();
+    if (victim == 0) break;  // everything pinned; allow transient overcommit
+    evicted.push_back(victim);
+  }
+  lru_.push_back(page);
+  map_[page] = Entry{mode, 0, std::prev(lru_.end())};
+  return evicted;
+}
+
+inline PageId BufferCache::evict_one() {
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    auto mit = map_.find(*it);
+    if (mit->second.pins == 0) {
+      PageId victim = *it;
+      lru_.erase(it);
+      map_.erase(mit);
+      return victim;
+    }
+  }
+  return 0;
+}
+
+inline std::vector<PageId> BufferCache::steal_for_versions(std::size_t n) {
+  std::vector<PageId> stolen;
+  while (stolen.size() < n && capacity_ > 1) {
+    PageId victim = evict_one();
+    if (victim == 0) break;
+    --capacity_;
+    stolen.push_back(victim);
+  }
+  return stolen;
+}
+
+}  // namespace dclue::db

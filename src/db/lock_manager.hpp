@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file lock_manager.hpp
+/// Exclusive sub-page lock table. Multi-version concurrency control removes
+/// read locks entirely (the paper: "MCC avoids any read-locks"), so only
+/// writers contend here. Each lock name is globally homed at its directory
+/// node; this class implements the grant table at that home — remote
+/// requesters reach it through IPC (cluster/fusion.hpp).
+///
+/// Waiting discipline per the paper's two-phase scheme: a transaction may
+/// *wait* on the first lock of its ordered sequence, while conflicts later
+/// in the sequence fail fast (release-and-retry at the caller).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace dclue::db {
+
+using TxnToken = std::uint64_t;
+using LockName = std::uint64_t;
+
+class LockManager {
+ public:
+  explicit LockManager(sim::Engine& engine) : engine_(engine) {}
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Immediate acquisition attempt (phase-2 conversion of a latch).
+  /// Reentrant: a holder re-acquiring its own lock succeeds.
+  bool try_acquire(LockName name, TxnToken owner);
+
+  /// Blocking acquisition with timeout; returns true when granted. Waiters
+  /// are granted FIFO on release.
+  sim::Task<bool> acquire_wait(LockName name, TxnToken owner,
+                               sim::Duration timeout);
+
+  /// Release; ownership transfers to the oldest waiter, if any.
+  void release(LockName name, TxnToken owner);
+
+  [[nodiscard]] bool is_held(LockName name) const { return table_.contains(name); }
+  [[nodiscard]] std::size_t held_count() const { return table_.size(); }
+
+ private:
+  struct Waiter {
+    TxnToken owner;
+    std::unique_ptr<sim::Gate> gate;
+    bool granted = false;
+    bool abandoned = false;  ///< timed out; skip when granting
+  };
+  struct Entry {
+    TxnToken holder;
+    std::deque<std::shared_ptr<Waiter>> waiters;
+  };
+
+  sim::Engine& engine_;
+  std::unordered_map<LockName, Entry> table_;
+};
+
+inline bool LockManager::try_acquire(LockName name, TxnToken owner) {
+  auto [it, inserted] = table_.try_emplace(name, Entry{owner, {}});
+  return inserted || it->second.holder == owner;
+}
+
+inline sim::Task<bool> LockManager::acquire_wait(LockName name, TxnToken owner,
+                                                 sim::Duration timeout) {
+  if (try_acquire(name, owner)) co_return true;
+  auto& entry = table_[name];
+  auto waiter = std::make_shared<Waiter>();
+  waiter->owner = owner;
+  waiter->gate = std::make_unique<sim::Gate>(engine_);
+  entry.waiters.push_back(waiter);
+  sim::EventHandle timer;
+  if (timeout > 0.0) {
+    timer = engine_.after(timeout, [waiter] {
+      if (!waiter->granted) {
+        waiter->abandoned = true;
+        waiter->gate->open();
+      }
+    });
+  }
+  co_await waiter->gate->wait();
+  timer.cancel();
+  co_return waiter->granted;
+}
+
+inline void LockManager::release(LockName name, TxnToken owner) {
+  auto it = table_.find(name);
+  if (it == table_.end() || it->second.holder != owner) return;
+  auto& entry = it->second;
+  while (!entry.waiters.empty()) {
+    auto waiter = entry.waiters.front();
+    entry.waiters.pop_front();
+    if (waiter->abandoned) continue;
+    entry.holder = waiter->owner;
+    waiter->granted = true;
+    waiter->gate->open();
+    return;
+  }
+  table_.erase(it);
+}
+
+}  // namespace dclue::db

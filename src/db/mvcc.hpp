@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file mvcc.hpp
+/// Multi-version concurrency control accounting, per the paper's §2.3:
+/// timestamp-based versions tracking minimum / maximum / current version
+/// numbers per sub-page, with version space drawn from an overflow memory
+/// area that steals unpinned buffer-cache pages when it runs low. Reads
+/// never lock; they walk the version chain to their snapshot. Version
+/// *content* is not duplicated (the row store keeps the current image);
+/// the chain length and space pressure are what shape performance.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "db/buffer_cache.hpp"
+#include "db/table.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace dclue::db {
+
+using Timestamp = std::uint64_t;
+
+class VersionManager {
+ public:
+  VersionManager(sim::Engine& engine, sim::Bytes overflow_capacity,
+                 BufferCache& cache)
+      : engine_(engine), capacity_(overflow_capacity), cache_(cache) {}
+
+  /// Record a new version of (page, subpage) of \p bytes at commit time \p ts.
+  void create_version(PageId page, int subpage, Timestamp ts, sim::Bytes bytes) {
+    auto& chain = chains_[lock_name(page, subpage)];
+    chain.push_back(ts);
+    in_use_ += bytes;
+    versions_created_.add();
+    while (in_use_ > capacity_) {
+      // Steal an unpinned buffer page into the overflow area.
+      auto stolen = cache_.steal_for_versions(1);
+      if (stolen.empty()) break;
+      capacity_ += kPageBytes;
+      pages_stolen_.add();
+    }
+  }
+
+  /// Number of versions a reader at \p snapshot must skip to find its image
+  /// (drives the read-path cost of versioning).
+  [[nodiscard]] int chain_hops(PageId page, int subpage, Timestamp snapshot) const {
+    auto it = chains_.find(lock_name(page, subpage));
+    if (it == chains_.end()) return 0;
+    int hops = 0;
+    for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+      if (*v <= snapshot) break;
+      ++hops;
+    }
+    return hops;
+  }
+
+  [[nodiscard]] Timestamp current_version(PageId page, int subpage) const {
+    auto it = chains_.find(lock_name(page, subpage));
+    return (it == chains_.end() || it->second.empty()) ? 0 : it->second.back();
+  }
+
+  /// Drop versions no active snapshot can see (keeps the newest of each
+  /// chain). Returns bytes reclaimed; stolen cache pages are handed back.
+  sim::Bytes gc(Timestamp min_active, sim::Bytes bytes_per_version) {
+    sim::Bytes freed = 0;
+    for (auto it = chains_.begin(); it != chains_.end();) {
+      auto& chain = it->second;
+      while (chain.size() > 1 && chain.front() < min_active &&
+             chain[1] <= min_active) {
+        chain.erase(chain.begin());
+        freed += bytes_per_version;
+      }
+      if (chain.empty()) {
+        it = chains_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    in_use_ -= std::min(freed, in_use_);
+    while (pages_stolen_.count() > pages_returned_.count() &&
+           capacity_ - kPageBytes > base_capacity_floor_ &&
+           in_use_ < capacity_ - 2 * kPageBytes) {
+      capacity_ -= kPageBytes;
+      cache_.restore_capacity(1);
+      pages_returned_.add();
+    }
+    return freed;
+  }
+
+  [[nodiscard]] sim::Bytes bytes_in_use() const { return in_use_; }
+  [[nodiscard]] sim::Bytes capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t versions_created() const {
+    return versions_created_.count();
+  }
+  [[nodiscard]] std::uint64_t cache_pages_stolen() const {
+    return pages_stolen_.count();
+  }
+
+ private:
+  sim::Engine& engine_;
+  sim::Bytes capacity_;
+  sim::Bytes base_capacity_floor_ = 0;
+  BufferCache& cache_;
+  std::unordered_map<LockName, std::vector<Timestamp>> chains_;
+  sim::Bytes in_use_ = 0;
+  sim::Counter versions_created_;
+  sim::Counter pages_stolen_;
+  sim::Counter pages_returned_;
+};
+
+}  // namespace dclue::db

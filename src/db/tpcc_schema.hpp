@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file tpcc_schema.hpp
+/// The nine TPC-C tables, their spec-accurate physical parameters, composite
+/// key encoding, and database population. Like DCLUE, the whole database is
+/// built in memory and initialized by TPC-C rules; buffer-cache operations
+/// then merely track page status per node while queries execute against the
+/// real rows and indices here.
+
+#include <cstdint>
+
+#include "db/table.hpp"
+#include "sim/rng.hpp"
+
+namespace dclue::db {
+
+// --- composite keys ---------------------------------------------------------
+// w: warehouse (<= 2^20), d: district 1..10, c: customer, o: order, ol: line,
+// i: item. Packed so that ordered iteration follows (w, d, o, ol).
+constexpr Key key_w(std::int64_t w) { return static_cast<Key>(w); }
+constexpr Key key_wd(std::int64_t w, std::int64_t d) {
+  return (static_cast<Key>(w) << 8) | static_cast<Key>(d);
+}
+constexpr Key key_wdc(std::int64_t w, std::int64_t d, std::int64_t c) {
+  return (key_wd(w, d) << 20) | static_cast<Key>(c);
+}
+constexpr Key key_wdo(std::int64_t w, std::int64_t d, std::int64_t o) {
+  return (key_wd(w, d) << 32) | static_cast<Key>(o);
+}
+constexpr Key key_wdool(std::int64_t w, std::int64_t d, std::int64_t o,
+                        std::int64_t ol) {
+  return (key_wdo(w, d, o) << 4) | static_cast<Key>(ol);
+}
+constexpr Key key_i(std::int64_t i) { return static_cast<Key>(i); }
+constexpr Key key_wi(std::int64_t w, std::int64_t i) {
+  return (static_cast<Key>(w) << 20) | static_cast<Key>(i);
+}
+/// History rows cluster by warehouse so each partition appends to its own
+/// pages (the table has no natural key; seq disambiguates).
+constexpr Key key_history(std::int64_t w, std::uint64_t seq) {
+  return (static_cast<Key>(w) << 32) | (seq & 0xffffffff);
+}
+
+// --- row content (only what query execution needs) --------------------------
+struct WarehouseRow {
+  double ytd = 0.0;
+};
+struct DistrictRow {
+  std::int32_t next_o_id = 1;
+  double ytd = 0.0;
+};
+struct CustomerRow {
+  double balance = -10.0;
+  double ytd_payment = 10.0;
+  std::int32_t payment_cnt = 1;
+  std::int32_t delivery_cnt = 0;
+  std::int32_t last_o_id = 0;  ///< stands in for the customer->order index
+};
+struct HistoryRow {};
+struct NewOrderRow {};
+struct OrderRow {
+  std::int32_t c_id = 0;
+  std::int8_t carrier_id = 0;
+  std::int8_t ol_cnt = 0;
+};
+struct OrderLineRow {
+  std::int32_t i_id = 0;
+  std::int32_t supply_w = 0;
+  std::int8_t quantity = 0;
+  double amount = 0.0;
+  bool delivered = false;
+};
+struct ItemRow {
+  double price = 0.0;
+};
+struct StockRow {
+  std::int16_t quantity = 0;
+  double ytd = 0.0;
+  std::int32_t order_cnt = 0;
+  std::int32_t remote_cnt = 0;
+};
+
+/// Spec row sizes (TPC-C clause 1.2 storage estimates). Sub-page (lock
+/// granularity) sizes follow the paper's per-table tuning: the hot district
+/// rows get per-row granularity; big cold rows lock at page granularity.
+struct TpccSpecs {
+  // Warehouse rows are padded to a page each (hot-row padding); the other
+  // warehouse-keyed tables cluster by key so pages never straddle the
+  // warehouse partition boundary.
+  static constexpr TableSpec warehouse{TableId::kWarehouse, "warehouse", 89, 128,
+                                       true, 1};
+  static constexpr TableSpec district{TableId::kDistrict, "district", 95, 128, true};
+  static constexpr TableSpec customer{TableId::kCustomer, "customer", 655, 1024,
+                                      true};
+  static constexpr TableSpec history{TableId::kHistory, "history", 46, 2048, true};
+  static constexpr TableSpec new_order{TableId::kNewOrder, "new_order", 8, 512, true};
+  static constexpr TableSpec order{TableId::kOrder, "order", 24, 512, true};
+  static constexpr TableSpec order_line{TableId::kOrderLine, "order_line", 54, 1024,
+                                        true};
+  static constexpr TableSpec item{TableId::kItem, "item", 82, 2048};
+  static constexpr TableSpec stock{TableId::kStock, "stock", 306, 512, true};
+};
+
+struct TpccScale {
+  std::int64_t warehouses = 40;
+  std::int64_t districts_per_warehouse = 10;
+  std::int64_t customers_per_district = 300;  ///< 3000 in spec; /10 under the
+                                              ///< simulation scaling (see DESIGN.md)
+  std::int64_t items = 1'000;  ///< 100K in spec; /100 per the paper's scaling
+  std::int64_t initial_orders_per_district = 30;
+  /// Ablation knob: override the district table's sub-page (lock
+  /// granularity) size; 0 keeps the tuned default (see the paper's §2.3
+  /// note about tuning the district sub-page).
+  sim::Bytes district_subpage_override = 0;
+};
+
+/// The clustered database: one logical instance shared by all nodes.
+class TpccDatabase {
+ public:
+  static TableSpec district_spec(const TpccScale& scale) {
+    TableSpec spec = TpccSpecs::district;
+    if (scale.district_subpage_override > 0) {
+      spec.subpage_bytes = scale.district_subpage_override;
+    }
+    return spec;
+  }
+
+  explicit TpccDatabase(TpccScale scale)
+      : scale_(scale),
+        warehouse(TpccSpecs::warehouse),
+        district(district_spec(scale)),
+        customer(TpccSpecs::customer),
+        history(TpccSpecs::history),
+        new_order(TpccSpecs::new_order),
+        order(TpccSpecs::order),
+        order_line(TpccSpecs::order_line),
+        item(TpccSpecs::item),
+        stock(TpccSpecs::stock) {}
+
+  /// Build all tables per TPC-C population rules.
+  void populate(sim::Rng& rng);
+
+  [[nodiscard]] const TpccScale& scale() const { return scale_; }
+
+  /// Aggregate number of data pages across tables (for cache sizing).
+  [[nodiscard]] std::uint64_t total_data_pages() const;
+
+  TpccScale scale_;
+  Table<WarehouseRow> warehouse;
+  Table<DistrictRow> district;
+  Table<CustomerRow> customer;
+  Table<HistoryRow> history;
+  Table<NewOrderRow> new_order;
+  Table<OrderRow> order;
+  Table<OrderLineRow> order_line;
+  Table<ItemRow> item;
+  Table<StockRow> stock;
+
+  /// Monotonic history row counter (history has no natural key).
+  std::uint64_t next_history_id = 0;
+};
+
+}  // namespace dclue::db

@@ -1,0 +1,31 @@
+#include "net/link.hpp"
+
+#include <cassert>
+
+namespace dclue::net {
+
+void Link::deliver(Packet pkt) {
+  if (!queue_.enqueue(std::move(pkt), engine_.now())) return;  // tail drop
+  if (!transmitting_) start_transmission();
+}
+
+void Link::start_transmission() {
+  auto pkt = queue_.dequeue(engine_.now());
+  if (!pkt) {
+    transmitting_ = false;
+    busy_.set(engine_.now(), 0.0);
+    return;
+  }
+  transmitting_ = true;
+  busy_.set(engine_.now(), 1.0);
+  const sim::Duration tx = sim::transmission_time(pkt->bytes, rate_);
+  bytes_sent_ += pkt->bytes;
+  // Delivery happens after serialization plus propagation; the transmitter
+  // frees up after serialization alone.
+  engine_.after(tx + propagation_, [this, p = *pkt]() mutable {
+    if (sink_) sink_->deliver(std::move(p));
+  });
+  engine_.after(tx, [this] { start_transmission(); });
+}
+
+}  // namespace dclue::net

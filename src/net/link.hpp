@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file link.hpp
+/// Point-to-point Ethernet link: an output queue feeding a serializing
+/// transmitter with propagation delay. Full duplex is modeled as two
+/// independent Links. Latency-impact experiments (Figs 12-13) adjust
+/// propagation delay exactly as the paper adjusts link lengths.
+
+#include <string>
+
+#include "net/packet.hpp"
+#include "net/qos.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace dclue::net {
+
+class Link : public PacketSink {
+ public:
+  Link(sim::Engine& engine, std::string name, sim::BitRate rate,
+       sim::Duration propagation, QosParams qos = {})
+      : engine_(engine),
+        name_(std::move(name)),
+        rate_(rate),
+        propagation_(propagation),
+        queue_(qos) {}
+
+  void connect(PacketSink* sink) { sink_ = sink; }
+
+  /// Enqueue for transmission (tail-drop under QoS limits).
+  void deliver(Packet pkt) override;
+
+  void set_propagation(sim::Duration d) { propagation_ = d; }
+  [[nodiscard]] sim::Duration propagation() const { return propagation_; }
+  [[nodiscard]] sim::BitRate rate() const { return rate_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// --- metrics -----------------------------------------------------------
+  [[nodiscard]] double utilization(sim::Time now) const {
+    return busy_.average(now);
+  }
+  [[nodiscard]] sim::Bytes bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] const OutputQueue& queue() const { return queue_; }
+  [[nodiscard]] OutputQueue& queue() { return queue_; }
+  void reset_stats(sim::Time now) {
+    busy_.reset(now);
+    bytes_sent_ = 0;
+    queue_.reset_stats();
+  }
+
+ private:
+  void start_transmission();
+
+  sim::Engine& engine_;
+  std::string name_;
+  sim::BitRate rate_;
+  sim::Duration propagation_;
+  OutputQueue queue_;
+  PacketSink* sink_ = nullptr;
+  bool transmitting_ = false;
+  sim::TimeWeighted busy_;
+  sim::Bytes bytes_sent_ = 0;
+};
+
+}  // namespace dclue::net

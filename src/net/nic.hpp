@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file nic.hpp
+/// Host network interface: binds an address to an uplink and hands received
+/// packets to the host's protocol stack. Protocol CPU costs are charged by
+/// the TCP layer, not here, so HW- vs SW-offload comparisons live in one
+/// place.
+
+#include <functional>
+#include <utility>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace dclue::net {
+
+class Nic : public PacketSink {
+ public:
+  Nic(Address address, Link* uplink) : address_(address), uplink_(uplink) {}
+
+  [[nodiscard]] Address address() const { return address_; }
+
+  void send(Packet pkt) {
+    pkt.src = address_;
+    uplink_->deliver(std::move(pkt));
+  }
+
+  void set_rx_handler(std::function<void(Packet)> fn) { rx_ = std::move(fn); }
+
+  void deliver(Packet pkt) override {
+    if (rx_) rx_(std::move(pkt));
+  }
+
+ private:
+  Address address_;
+  Link* uplink_;
+  std::function<void(Packet)> rx_;
+};
+
+}  // namespace dclue::net

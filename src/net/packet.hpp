@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file packet.hpp
+/// Wire-level datatypes. Every byte the model moves — IPC control and data,
+/// iSCSI PDUs, client-server requests, FTP cross traffic — travels as TCP
+/// segments inside IP/Ethernet framing, because the whole point of the paper
+/// is a *unified* Ethernet fabric.
+
+#include <cstdint>
+
+#include "sim/units.hpp"
+
+namespace dclue::net {
+
+/// Flat node address (hosts and router ports share one space).
+using Address = std::uint32_t;
+inline constexpr Address kNoAddress = 0xffffffff;
+
+/// Diff-serv code point groups used in the study (§3.4): everything defaults
+/// to best effort; the interfering FTP traffic is optionally promoted to
+/// AF21, which OPNET's default implementation maps to priority treatment.
+enum class Dscp : std::uint8_t { kBestEffort = 0, kAF21 = 1 };
+inline constexpr int kNumDscp = 2;
+
+/// TCP segment. Payload content is not simulated (the database layer keeps
+/// the real data); TCP moves byte *counts* with exact sequencing semantics.
+struct TcpSegment {
+  std::uint64_t conn_id = 0;
+  std::uint16_t dst_port = 0;  ///< listener rendezvous (meaningful on SYN)
+  std::int64_t seq = 0;      ///< first payload byte's sequence number
+  std::int64_t ack = 0;      ///< cumulative ack
+  sim::Bytes len = 0;        ///< payload bytes
+  bool syn = false;
+  bool fin = false;
+  bool is_ack = false;
+  bool ece = false;          ///< ECN echo (receiver -> sender)
+  bool cwr = false;          ///< congestion window reduced (sender -> receiver)
+  bool ce = false;           ///< congestion experienced (set by routers)
+};
+
+/// TCP/IP + Ethernet framing overhead per segment.
+inline constexpr sim::Bytes kHeaderBytes = 58;
+
+struct Packet {
+  Address src = kNoAddress;
+  Address dst = kNoAddress;
+  Dscp dscp = Dscp::kBestEffort;
+  sim::Bytes bytes = 0;  ///< on-wire size including headers
+  TcpSegment seg;
+  sim::Time enqueued_at = 0.0;  ///< set by queues for delay accounting
+};
+
+/// Anything that can accept a packet: links deliver into routers and NICs.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(Packet pkt) = 0;
+};
+
+}  // namespace dclue::net

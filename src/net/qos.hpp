@@ -1,0 +1,254 @@
+#pragma once
+
+/// \file qos.hpp
+/// Output queueing disciplines. The paper's §3.4 study uses the two simplest
+/// data-center arrangements — tail-drop FIFO for best effort and strict
+/// priority for AF21 — but names the full diff-serv mechanism space
+/// ("queuing schemes (priority, WFQ, ...), packet drop schemes (tail drop,
+/// WRED, ...), traffic policing/shaping") and calls better arrangements
+/// future work. This module implements that space: FIFO / strict-priority /
+/// weighted-fair queueing schedulers, tail-drop / WRED droppers with
+/// optional ECN marking, and per-class token-bucket policing.
+
+#include <array>
+#include <cmath>
+#include <deque>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace dclue::net {
+
+enum class QueueScheduler {
+  kFifo,            ///< one logical FIFO across classes
+  kStrictPriority,  ///< higher DSCP always first (OPNET's AF default)
+  kWfq,             ///< weighted fair queueing by class weight
+};
+
+enum class DropPolicy {
+  kTailDrop,  ///< the paper's routers
+  kWred,      ///< weighted RED (early random drop / ECN mark)
+};
+
+struct TokenBucket {
+  double rate_bps = 0.0;  ///< 0 = unpoliced
+  sim::Bytes burst_bytes = sim::kilobytes(64);
+};
+
+struct QosParams {
+  QueueScheduler scheduler = QueueScheduler::kStrictPriority;
+  DropPolicy drop = DropPolicy::kTailDrop;
+
+  /// Per-class byte limits; AF21 gets the larger queue per OPNET defaults.
+  std::array<sim::Bytes, kNumDscp> queue_limit_bytes = {
+      sim::kilobytes(128), sim::kilobytes(256)};
+  /// WFQ weights (share of bandwidth under contention).
+  std::array<double, kNumDscp> wfq_weight = {1.0, 1.0};
+  /// WRED thresholds as fractions of the class queue limit.
+  double wred_min_fraction = 0.25;
+  double wred_max_fraction = 0.75;
+  double wred_max_p = 0.1;
+  /// ECN: mark (rather than drop) once a class queue holds this many bytes
+  /// (tail-drop mode), or mark instead of early-dropping (WRED mode).
+  /// <= 0 disables marking.
+  sim::Bytes ecn_mark_threshold_bytes = 0;
+  /// Ingress policing per class (leaky bucket); rate 0 = unpoliced.
+  std::array<TokenBucket, kNumDscp> police = {};
+};
+
+/// A multi-class output queue with pluggable scheduler / dropper / policer.
+class OutputQueue {
+ public:
+  explicit OutputQueue(QosParams params = {})
+      : params_(params), wred_rng_(0x9e3779b9) {
+    for (std::size_t c = 0; c < kNumDscp; ++c) {
+      tokens_[c] = static_cast<double>(params_.police[c].burst_bytes);  // full bucket
+      token_time_[c] = 0.0;
+    }
+  }
+
+  /// Enqueue; returns false (and counts a drop) when rejected.
+  bool enqueue(Packet pkt, sim::Time now);
+
+  /// Dequeue the next packet per discipline.
+  std::optional<Packet> dequeue(sim::Time now);
+
+  [[nodiscard]] bool empty() const {
+    for (const auto& q : queues_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] sim::Bytes queued_bytes() const {
+    sim::Bytes total = 0;
+    for (auto b : bytes_) total += b;
+    return total;
+  }
+  [[nodiscard]] sim::Bytes queued_bytes(Dscp cls) const {
+    return bytes_[static_cast<std::size_t>(cls)];
+  }
+
+  [[nodiscard]] const sim::Counter& drops() const { return drops_; }
+  [[nodiscard]] const sim::Counter& policed_drops() const { return policed_; }
+  [[nodiscard]] const sim::Counter& ecn_marks() const { return ecn_marks_; }
+  [[nodiscard]] const sim::Tally& queue_delay() const { return queue_delay_; }
+  void reset_stats() {
+    drops_.reset();
+    policed_.reset();
+    ecn_marks_.reset();
+    queue_delay_.reset();
+  }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    double wfq_finish = 0.0;
+  };
+
+  [[nodiscard]] int next_class(sim::Time now) const;
+  bool police_conforms(std::size_t cls, sim::Bytes bytes, sim::Time now);
+  /// WRED verdict: 0 = admit, 1 = mark, 2 = drop.
+  int wred_verdict(std::size_t cls, const Packet& pkt);
+
+  QosParams params_;
+  std::array<std::deque<Entry>, kNumDscp> queues_;
+  std::array<sim::Bytes, kNumDscp> bytes_{};
+  std::array<double, kNumDscp> wfq_last_finish_{};
+  double wfq_virtual_ = 0.0;
+  std::array<double, kNumDscp> tokens_{};
+  std::array<sim::Time, kNumDscp> token_time_{};
+  std::array<double, kNumDscp> wred_avg_{};
+  sim::Counter drops_;
+  sim::Counter policed_;
+  sim::Counter ecn_marks_;
+  sim::Tally queue_delay_;
+  sim::Rng wred_rng_;
+};
+
+inline bool OutputQueue::police_conforms(std::size_t cls, sim::Bytes bytes,
+                                         sim::Time now) {
+  const TokenBucket& tb = params_.police[cls];
+  if (tb.rate_bps <= 0.0) return true;
+  // Refill.
+  tokens_[cls] = std::min(
+      static_cast<double>(tb.burst_bytes),
+      tokens_[cls] + (now - token_time_[cls]) * tb.rate_bps / 8.0);
+  token_time_[cls] = now;
+  if (tokens_[cls] >= static_cast<double>(bytes)) {
+    tokens_[cls] -= static_cast<double>(bytes);
+    return true;
+  }
+  return false;
+}
+
+inline int OutputQueue::wred_verdict(std::size_t cls, const Packet& pkt) {
+  // EWMA of the class queue depth (classic RED, weight 1/16).
+  wred_avg_[cls] = wred_avg_[cls] * (15.0 / 16.0) +
+                   static_cast<double>(bytes_[cls]) / 16.0;
+  const double limit = static_cast<double>(params_.queue_limit_bytes[cls]);
+  const double min_th = params_.wred_min_fraction * limit;
+  const double max_th = params_.wred_max_fraction * limit;
+  if (wred_avg_[cls] < min_th) return 0;
+  if (wred_avg_[cls] >= max_th) return 2;
+  const double p =
+      params_.wred_max_p * (wred_avg_[cls] - min_th) / (max_th - min_th);
+  if (wred_rng_.uniform() >= p) return 0;
+  // Early congestion signal: mark ECN-capable data, drop otherwise.
+  return (params_.ecn_mark_threshold_bytes > 0 && pkt.seg.len > 0) ? 1 : 2;
+}
+
+inline bool OutputQueue::enqueue(Packet pkt, sim::Time now) {
+  const auto cls = static_cast<std::size_t>(pkt.dscp);
+  if (!police_conforms(cls, pkt.bytes, now)) {
+    policed_.add();
+    drops_.add();
+    return false;
+  }
+  if (bytes_[cls] + pkt.bytes > params_.queue_limit_bytes[cls]) {
+    drops_.add();
+    return false;
+  }
+  if (params_.drop == DropPolicy::kWred) {
+    switch (wred_verdict(cls, pkt)) {
+      case 1:
+        pkt.seg.ce = true;
+        ecn_marks_.add();
+        break;
+      case 2:
+        drops_.add();
+        return false;
+      default:
+        break;
+    }
+  } else if (params_.ecn_mark_threshold_bytes > 0 && pkt.seg.len > 0 &&
+             bytes_[cls] >= params_.ecn_mark_threshold_bytes) {
+    pkt.seg.ce = true;
+    ecn_marks_.add();
+  }
+
+  Entry entry;
+  entry.pkt = std::move(pkt);
+  entry.pkt.enqueued_at = now;
+  if (params_.scheduler == QueueScheduler::kWfq) {
+    const double start = std::max(wfq_virtual_, wfq_last_finish_[cls]);
+    entry.wfq_finish = start + static_cast<double>(entry.pkt.bytes) /
+                                   std::max(params_.wfq_weight[cls], 1e-9);
+    wfq_last_finish_[cls] = entry.wfq_finish;
+  }
+  bytes_[cls] += entry.pkt.bytes;
+  queues_[cls].push_back(std::move(entry));
+  return true;
+}
+
+inline int OutputQueue::next_class(sim::Time /*now*/) const {
+  switch (params_.scheduler) {
+    case QueueScheduler::kStrictPriority:
+      for (int c = kNumDscp - 1; c >= 0; --c) {
+        if (!queues_[static_cast<std::size_t>(c)].empty()) return c;
+      }
+      return -1;
+    case QueueScheduler::kWfq: {
+      int best = -1;
+      double best_finish = 0.0;
+      for (int c = 0; c < kNumDscp; ++c) {
+        const auto& q = queues_[static_cast<std::size_t>(c)];
+        if (!q.empty() && (best < 0 || q.front().wfq_finish < best_finish)) {
+          best = c;
+          best_finish = q.front().wfq_finish;
+        }
+      }
+      return best;
+    }
+    case QueueScheduler::kFifo:
+    default: {
+      int best = -1;
+      sim::Time best_t = 0.0;
+      for (int c = 0; c < kNumDscp; ++c) {
+        const auto& q = queues_[static_cast<std::size_t>(c)];
+        if (!q.empty() && (best < 0 || q.front().pkt.enqueued_at < best_t)) {
+          best = c;
+          best_t = q.front().pkt.enqueued_at;
+        }
+      }
+      return best;
+    }
+  }
+}
+
+inline std::optional<Packet> OutputQueue::dequeue(sim::Time now) {
+  int cls = next_class(now);
+  if (cls < 0) return std::nullopt;
+  auto& q = queues_[static_cast<std::size_t>(cls)];
+  Entry entry = std::move(q.front());
+  q.pop_front();
+  bytes_[static_cast<std::size_t>(cls)] -= entry.pkt.bytes;
+  if (params_.scheduler == QueueScheduler::kWfq) {
+    wfq_virtual_ = std::max(wfq_virtual_, entry.wfq_finish);
+  }
+  queue_delay_.add(now - entry.pkt.enqueued_at);
+  return std::move(entry.pkt);
+}
+
+}  // namespace dclue::net

@@ -1,0 +1,43 @@
+#include "net/router.hpp"
+
+namespace dclue::net {
+
+void Router::deliver(Packet pkt) {
+  if (input_q_.size() >= params_.input_queue_packets) {
+    input_drops_.add();
+    return;
+  }
+  pkt.enqueued_at = engine_.now();
+  input_q_.push_back(std::move(pkt));
+  if (!serving_) service_next();
+}
+
+void Router::service_next() {
+  if (input_q_.empty()) {
+    serving_ = false;
+    busy_.set(engine_.now(), 0.0);
+    return;
+  }
+  serving_ = true;
+  busy_.set(engine_.now(), 1.0);
+  const sim::Duration service = 1.0 / params_.forwarding_rate_pps;
+  engine_.after(service, [this] {
+    Packet pkt = std::move(input_q_.front());
+    input_q_.pop_front();
+    fwd_delay_.add(engine_.now() - pkt.enqueued_at);
+    forwarded_.add();
+    auto it = routes_.find(pkt.dst);
+    Link* out = it != routes_.end() ? it->second : default_route_;
+    if (out) {
+      if (params_.per_packet_latency > 0.0) {
+        engine_.after(params_.per_packet_latency,
+                      [out, p = std::move(pkt)]() mutable { out->deliver(std::move(p)); });
+      } else {
+        out->deliver(std::move(pkt));
+      }
+    }
+    service_next();
+  });
+}
+
+}  // namespace dclue::net

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file router.hpp
+/// Store-and-forward router modeled after the OPNET "3M Gigabit" device the
+/// paper uses: a shared forwarding engine with a finite packet rate feeding
+/// per-port output queues. Fig 8 reproduces the saturation that appears when
+/// the forwarding rate is cut from 10000 to 4000 packets/sec.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace dclue::net {
+
+struct RouterParams {
+  /// Shared forwarding engine packet rate. The paper's "10000 packets/sec" is
+  /// the 100x-scaled figure; this default is the corresponding unscaled rate
+  /// (cluster configs divide by the scale factor).
+  double forwarding_rate_pps = 1'000'000.0;
+  sim::Duration per_packet_latency = 0.0; ///< fixed pipeline latency
+  std::size_t input_queue_packets = 2'000;
+};
+
+class Router : public PacketSink {
+ public:
+  Router(sim::Engine& engine, std::string name, RouterParams params = {})
+      : engine_(engine), name_(std::move(name)), params_(params) {}
+
+  /// Attach an output link (one per port) and the addresses routed to it.
+  void add_route(Address dst, Link* out) { routes_[dst] = out; }
+  void set_default_route(Link* out) { default_route_ = out; }
+
+  void deliver(Packet pkt) override;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const sim::Counter& forwarded() const { return forwarded_; }
+  [[nodiscard]] const sim::Counter& input_drops() const { return input_drops_; }
+  [[nodiscard]] const sim::Tally& forwarding_delay() const { return fwd_delay_; }
+  [[nodiscard]] double engine_utilization(sim::Time now) const {
+    return busy_.average(now);
+  }
+  void reset_stats(sim::Time now) {
+    forwarded_.reset();
+    input_drops_.reset();
+    fwd_delay_.reset();
+    busy_.reset(now);
+  }
+
+ private:
+  void service_next();
+
+  sim::Engine& engine_;
+  std::string name_;
+  RouterParams params_;
+  std::unordered_map<Address, Link*> routes_;
+  Link* default_route_ = nullptr;
+  std::deque<Packet> input_q_;
+  bool serving_ = false;
+  sim::Counter forwarded_;
+  sim::Counter input_drops_;
+  sim::Tally fwd_delay_;
+  sim::TimeWeighted busy_;
+};
+
+}  // namespace dclue::net

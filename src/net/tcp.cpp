@@ -1,0 +1,535 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dclue::net {
+
+std::uint64_t TcpStack::next_conn_id_ = 1;
+
+// ---------------------------------------------------------------------------
+// TcpStack
+// ---------------------------------------------------------------------------
+
+TcpStack::TcpStack(sim::Engine& engine, Nic& nic, TcpParams params,
+                   TcpCostModel costs, CpuCharge charge)
+    : engine_(engine),
+      nic_(nic),
+      params_(params),
+      costs_(costs),
+      charge_(std::move(charge)) {
+  nic_.set_rx_handler([this](Packet pkt) { on_packet(std::move(pkt)); });
+}
+
+std::shared_ptr<TcpConnection> TcpStack::connect(Address dst, std::uint16_t port,
+                                                 Dscp dscp) {
+  auto conn = std::shared_ptr<TcpConnection>(
+      new TcpConnection(*this, next_conn_id_++, dst, dscp, /*active=*/true));
+  conn->syn_port_ = port;
+  connections_[conn->id()] = conn;
+  conn->start_handshake();
+  return conn;
+}
+
+TcpListener& TcpStack::listen(std::uint16_t port) {
+  auto& slot = listeners_[port];
+  if (!slot) slot = std::make_unique<TcpListener>(engine_);
+  return *slot;
+}
+
+void TcpStack::on_packet(Packet pkt) { rx_process(std::move(pkt)); }
+
+sim::DetachedTask TcpStack::rx_process(Packet pkt) {
+  const auto& seg = pkt.seg;
+  const sim::PathLength cost = costs_.per_segment_rx +
+                               static_cast<double>(seg.len) * costs_.per_byte_rx;
+  co_await charge_(cost, cpu::JobClass::kInterrupt);
+  segments_received_.add();
+
+  auto it = connections_.find(seg.conn_id);
+  if (it == connections_.end()) {
+    if (seg.syn && !seg.is_ack) {
+      // Passive open: rendezvous with a listener on the advertised port.
+      auto lit = listeners_.find(seg.dst_port);
+      if (lit == listeners_.end()) co_return;  // connection refused: ignore
+      auto conn = std::shared_ptr<TcpConnection>(new TcpConnection(
+          *this, seg.conn_id, pkt.src, pkt.dscp, /*active=*/false));
+      conn->listener_ = lit->second.get();
+      connections_[conn->id()] = conn;
+      co_await charge_(costs_.connection_setup, cpu::JobClass::kKernel);
+      conn->send_control(/*syn=*/true, /*ack=*/true);
+      conn->arm_rto();
+    }
+    co_return;  // stale segment for a closed connection
+  }
+  // Hold a reference: processing may close and unregister the connection.
+  auto conn = it->second;
+  conn->process_segment(seg);
+}
+
+void TcpStack::emit(TcpConnection& conn, TcpSegment seg, sim::Bytes payload_len) {
+  seg.conn_id = conn.id();
+  Packet pkt;
+  pkt.dst = conn.peer();
+  pkt.dscp = conn.dscp();
+  pkt.bytes = payload_len + kHeaderBytes;
+  pkt.seg = seg;
+  segments_sent_.add();
+  nic_.send(std::move(pkt));
+}
+
+void TcpStack::remove_connection(std::uint64_t id) {
+  // Defer so that any in-flight processing of this connection finishes first.
+  engine_.after(0.0, [this, id] { connections_.erase(id); });
+}
+
+// ---------------------------------------------------------------------------
+// TcpConnection
+// ---------------------------------------------------------------------------
+
+TcpConnection::TcpConnection(TcpStack& stack, std::uint64_t id, Address peer,
+                             Dscp dscp, bool active)
+    : stack_(stack),
+      id_(id),
+      peer_(peer),
+      dscp_(dscp),
+      state_(active ? State::kSynSent : State::kSynReceived),
+      established_(stack.engine()),
+      rto_(stack.params().initial_rto()),
+      tx_signal_(stack.engine()) {
+  const auto& p = stack.params();
+  cwnd_ = static_cast<double>(p.initial_cwnd_segments * p.mss);
+  ssthresh_ = static_cast<double>(p.rwnd);
+}
+
+sim::Engine& TcpConnection::stack_engine() { return stack_.engine(); }
+
+void TcpConnection::start_handshake() {
+  auto self = shared_from_this();
+  sim::spawn([](std::shared_ptr<TcpConnection> c) -> sim::Task<void> {
+    co_await c->stack_.charge_(c->stack_.costs().connection_setup,
+                               cpu::JobClass::kKernel);
+    if (c->state_ != State::kSynSent) co_return;
+    c->send_control(/*syn=*/true, /*ack=*/false);
+    c->arm_rto();
+  }(self));
+}
+
+sim::Bytes TcpConnection::effective_window() const {
+  const auto wnd = static_cast<sim::Bytes>(
+      std::min(cwnd_, static_cast<double>(stack_.params().rwnd)));
+  return wnd - flight();
+}
+
+void TcpConnection::send(sim::Bytes n) {
+  assert(n > 0);
+  app_total_ += n;
+  transmit_pump_kick();
+}
+
+void TcpConnection::close() {
+  closing_requested_ = true;
+  if (state_ == State::kEstablished) state_ = State::kClosing;
+  transmit_pump_kick();
+}
+
+sim::Task<void> TcpConnection::wait_all_acked() {
+  const std::int64_t target = app_total_;
+  if (snd_una_ >= target) co_return;
+  auto gate = std::make_unique<sim::Gate>(stack_.engine());
+  ack_waiters_.push_back({target, std::move(gate)});
+  co_await ack_waiters_.back().second->wait();
+}
+
+void TcpConnection::transmit_pump_kick() {
+  if (!pump_running_) {
+    pump_running_ = true;
+    transmit_pump();
+  } else {
+    tx_signal_.notify();
+  }
+}
+
+sim::DetachedTask TcpConnection::transmit_pump() {
+  auto self = shared_from_this();
+  for (;;) {
+    if (state_ == State::kClosed) break;
+    if (state_ == State::kEstablished || state_ == State::kClosing) {
+      const sim::Bytes avail = app_total_ - snd_nxt_;
+      const sim::Bytes mss = stack_.params().mss;
+      if (avail > 0) {
+        const sim::Bytes len = std::min<sim::Bytes>(mss, avail);
+        if (effective_window() >= len || flight() == 0) {
+          const sim::PathLength cost =
+              stack_.costs().per_segment_tx +
+              static_cast<double>(len) * stack_.costs().per_byte_tx;
+          co_await stack_.charge_(cost, cpu::JobClass::kKernel);
+          if (state_ == State::kClosed) break;  // reset while charging
+          const std::int64_t seq = snd_nxt_;
+          snd_nxt_ += len;
+          if (rtt_seq_ < 0) {
+            rtt_seq_ = snd_nxt_;
+            rtt_sent_at_ = stack_.engine().now();
+          }
+          send_segment(seq, len, /*fin=*/false);
+          if (!rto_timer_.pending()) arm_rto();
+          continue;
+        }
+      } else if (closing_requested_ && !fin_sent_ && snd_nxt_ == app_total_) {
+        co_await stack_.charge_(stack_.costs().per_segment_tx,
+                                cpu::JobClass::kKernel);
+        if (state_ == State::kClosed) break;
+        fin_seq_ = snd_nxt_;
+        snd_nxt_ += 1;  // FIN consumes one sequence number
+        fin_sent_ = true;
+        send_segment(fin_seq_, 0, /*fin=*/true);
+        if (!rto_timer_.pending()) arm_rto();
+        continue;
+      }
+    }
+    co_await tx_signal_.wait();
+  }
+  pump_running_ = false;
+}
+
+void TcpConnection::send_segment(std::int64_t seq, sim::Bytes len, bool fin) {
+  TcpSegment seg;
+  seg.seq = seq;
+  seg.len = len;
+  seg.fin = fin;
+  seg.is_ack = true;
+  seg.ack = ack_value();
+  seg.ece = ecn_echo_;
+  if (cwr_pending_ && len > 0) {
+    seg.cwr = true;
+    cwr_pending_ = false;
+  }
+  // Piggybacked ack resets the delayed-ack machinery.
+  unacked_segments_ = 0;
+  delack_timer_.cancel();
+  stack_.emit(*this, seg, len);
+}
+
+void TcpConnection::send_control(bool syn, bool ack, bool fin) {
+  TcpSegment seg;
+  seg.syn = syn;
+  seg.fin = fin;
+  seg.is_ack = ack;
+  seg.ack = ack ? ack_value() : 0;
+  seg.dst_port = syn_port_;
+  seg.ece = ecn_echo_;
+  stack_.emit(*this, seg, 0);
+}
+
+std::int64_t TcpConnection::ack_value() const {
+  // After an in-order FIN the cumulative ack covers the FIN's sequence slot.
+  if (peer_fin_ && rcv_nxt_ >= peer_fin_seq_) return rcv_nxt_ + 1;
+  return rcv_nxt_;
+}
+
+void TcpConnection::send_ack_now() {
+  delack_timer_.cancel();
+  unacked_segments_ = 0;
+  auto self = shared_from_this();
+  sim::spawn([](std::shared_ptr<TcpConnection> c) -> sim::Task<void> {
+    co_await c->stack_.charge_(c->stack_.costs().per_segment_tx,
+                               cpu::JobClass::kKernel);
+    if (c->state_ == State::kClosed) co_return;
+    c->send_control(/*syn=*/false, /*ack=*/true);
+  }(self));
+}
+
+void TcpConnection::maybe_delayed_ack() {
+  if (++unacked_segments_ >= 2) {
+    send_ack_now();
+    return;
+  }
+  if (!delack_timer_.pending()) {
+    auto self = shared_from_this();
+    delack_timer_ = stack_.engine().after(
+        stack_.params().delayed_ack(), [self] {
+          if (self->state_ != State::kClosed) self->send_ack_now();
+        });
+  }
+}
+
+void TcpConnection::process_segment(const TcpSegment& seg) {
+  switch (state_) {
+    case State::kSynSent:
+      if (seg.syn && seg.is_ack) {
+        state_ = State::kEstablished;
+        rto_timer_.cancel();
+        rto_backoff_ = 0;
+        send_ack_now();
+        established_.open();
+        if (closing_requested_) state_ = State::kClosing;
+        transmit_pump_kick();
+      }
+      return;
+    case State::kSynReceived:
+      if (seg.syn && !seg.is_ack) return;  // duplicate SYN; SYN|ACK will rexmit
+      state_ = State::kEstablished;
+      rto_timer_.cancel();
+      rto_backoff_ = 0;
+      established_.open();
+      if (listener_) listener_->accepted_.push(shared_from_this());
+      transmit_pump_kick();
+      // Fall through: the completing ACK may carry data.
+      break;
+    case State::kClosed:
+      return;
+    default:
+      break;
+  }
+
+  if (seg.syn && seg.is_ack) {
+    // Retransmitted SYN|ACK after our ACK was lost: re-acknowledge.
+    send_ack_now();
+    return;
+  }
+  if (seg.ce) ecn_echo_ = true;
+  if (seg.cwr) ecn_echo_ = false;
+  if (seg.len > 0 || seg.fin) process_payload(seg);
+  if (seg.is_ack) process_ack(seg);
+}
+
+void TcpConnection::process_payload(const TcpSegment& seg) {
+  std::int64_t s = seg.seq;
+  std::int64_t e = seg.seq + seg.len;
+  if (seg.fin) {
+    peer_fin_ = true;
+    peer_fin_seq_ = e;
+  }
+  const bool was_in_order = (s <= rcv_nxt_ && e >= rcv_nxt_);
+  if (e > rcv_nxt_ && seg.len > 0) {
+    // Merge [s, e) into the out-of-order interval set.
+    auto it = ooo_.lower_bound(s);
+    if (it != ooo_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= s) {
+        s = prev->first;
+        e = std::max(e, prev->second);
+        it = ooo_.erase(prev);
+      }
+    }
+    while (it != ooo_.end() && it->first <= e) {
+      e = std::max(e, it->second);
+      it = ooo_.erase(it);
+    }
+    ooo_[s] = e;
+    // Advance rcv_nxt through any now-contiguous prefix.
+    auto first = ooo_.begin();
+    if (first != ooo_.end() && first->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, first->second);
+      ooo_.erase(first);
+    }
+  }
+  // Deliver newly in-order payload to the application.
+  if (rcv_nxt_ > delivered_) {
+    sim::Bytes n = rcv_nxt_ - delivered_;
+    delivered_ = rcv_nxt_;
+    if (rx_handler_) {
+      rx_handler_(n);
+    } else {
+      rx_buffered_ += n;
+    }
+  }
+  const bool fin_ready = peer_fin_ && rcv_nxt_ >= peer_fin_seq_;
+  if (!ooo_.empty() && !was_in_order) {
+    send_ack_now();  // duplicate ack signalling the hole
+  } else if (fin_ready) {
+    send_ack_now();
+    if (!eof_signaled_) {
+      eof_signaled_ = true;
+      if (eof_handler_) eof_handler_();
+    }
+    maybe_finish_close();
+  } else if (seg.len > 0) {
+    maybe_delayed_ack();
+  }
+}
+
+void TcpConnection::process_ack(const TcpSegment& seg) {
+  const auto& p = stack_.params();
+  if (seg.ece && p.ecn) {
+    if (snd_una_ >= ecn_reduce_until_) {
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * static_cast<double>(p.mss));
+      cwnd_ = ssthresh_;
+      ecn_reduce_until_ = snd_nxt_;
+      cwr_pending_ = true;
+    }
+  }
+  if (seg.ack > snd_una_) {
+    on_new_ack(seg.ack);
+  } else if (seg.ack == snd_una_ && flight() > 0 && seg.len == 0 && !seg.syn &&
+             !seg.fin) {
+    ++dupacks_;
+    if (dupacks_ == 3 && !in_recovery_) {
+      enter_fast_recovery();
+    } else if (in_recovery_) {
+      cwnd_ += static_cast<double>(p.mss);
+      transmit_pump_kick();
+    }
+  }
+}
+
+void TcpConnection::on_new_ack(std::int64_t acked_to) {
+  const auto& p = stack_.params();
+  const sim::Bytes mss = p.mss;
+  const std::int64_t newly = acked_to - snd_una_;
+  if (rtt_seq_ >= 0 && acked_to >= rtt_seq_) {
+    update_rtt(stack_.engine().now() - rtt_sent_at_);
+    rtt_seq_ = -1;
+  }
+  snd_una_ = acked_to;
+  consecutive_rto_ = 0;
+  rto_backoff_ = 0;
+
+  if (in_recovery_) {
+    if (acked_to >= recover_) {
+      in_recovery_ = false;
+      cwnd_ = ssthresh_;
+      dupacks_ = 0;
+    } else {
+      // NewReno partial ack: retransmit the next hole, deflate the window.
+      retransmit_at(snd_una_);
+      cwnd_ = std::max(cwnd_ - static_cast<double>(newly) + static_cast<double>(mss),
+                       static_cast<double>(mss));
+    }
+  } else {
+    dupacks_ = 0;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += static_cast<double>(std::min<std::int64_t>(newly, mss));
+    } else {
+      cwnd_ += static_cast<double>(mss) * static_cast<double>(mss) / cwnd_;
+    }
+  }
+
+  // Release senders waiting for full acknowledgement.
+  while (!ack_waiters_.empty()) {
+    bool released = false;
+    for (auto it = ack_waiters_.begin(); it != ack_waiters_.end(); ++it) {
+      if (it->first <= snd_una_) {
+        it->second->open();
+        ack_waiters_.erase(it);
+        released = true;
+        break;
+      }
+    }
+    if (!released) break;
+  }
+
+  if (flight() > 0) {
+    arm_rto();
+  } else {
+    rto_timer_.cancel();
+  }
+  if (fin_sent_ && snd_una_ >= fin_seq_ + 1) maybe_finish_close();
+  transmit_pump_kick();
+}
+
+void TcpConnection::update_rtt(sim::Duration sample) {
+  const auto& p = stack_.params();
+  if (srtt_ == 0.0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sample);
+    srtt_ = 0.875 * srtt_ + 0.125 * sample;
+  }
+  rto_ = std::clamp(srtt_ + 4.0 * rttvar_, p.min_rto(), p.max_rto());
+}
+
+void TcpConnection::enter_fast_recovery() {
+  const auto& p = stack_.params();
+  ssthresh_ = std::max(static_cast<double>(flight()) / 2.0,
+                       2.0 * static_cast<double>(p.mss));
+  retransmit_at(snd_una_);
+  cwnd_ = ssthresh_ + 3.0 * static_cast<double>(p.mss);
+  in_recovery_ = true;
+  recover_ = snd_nxt_;
+}
+
+void TcpConnection::retransmit_at(std::int64_t seq) {
+  ++retransmit_count_;
+  stack_.retransmits_.add();
+  rtt_seq_ = -1;  // Karn: do not sample RTT across a retransmission
+  const bool is_fin = fin_sent_ && seq == fin_seq_;
+  const sim::Bytes len =
+      is_fin ? 0
+             : std::min<sim::Bytes>(stack_.params().mss, app_total_ - seq);
+  auto self = shared_from_this();
+  sim::spawn([](std::shared_ptr<TcpConnection> c, std::int64_t seq,
+                sim::Bytes len, bool fin) -> sim::Task<void> {
+    co_await c->stack_.charge_(
+        c->stack_.costs().per_segment_tx +
+            static_cast<double>(len) * c->stack_.costs().per_byte_tx,
+        cpu::JobClass::kKernel);
+    if (c->state_ == State::kClosed) co_return;
+    c->send_segment(seq, len, fin);
+  }(self, seq, len, is_fin));
+}
+
+void TcpConnection::arm_rto() {
+  rto_timer_.cancel();
+  const auto& p = stack_.params();
+  sim::Duration timeout =
+      std::min(rto_ * static_cast<double>(1 << std::min(rto_backoff_, 16)),
+               p.max_rto());
+  auto self = shared_from_this();
+  rto_timer_ = stack_.engine().after(timeout, [self] { self->on_rto(); });
+}
+
+void TcpConnection::on_rto() {
+  if (state_ == State::kClosed) return;
+  ++rto_backoff_;
+  if (++consecutive_rto_ > stack_.params().max_retransmits) {
+    do_reset();
+    return;
+  }
+  if (state_ == State::kSynSent) {
+    send_control(/*syn=*/true, /*ack=*/false);
+    arm_rto();
+    return;
+  }
+  if (state_ == State::kSynReceived) {
+    send_control(/*syn=*/true, /*ack=*/true);
+    arm_rto();
+    return;
+  }
+  if (flight() <= 0) return;
+  const auto& p = stack_.params();
+  ssthresh_ = std::max(static_cast<double>(flight()) / 2.0,
+                       2.0 * static_cast<double>(p.mss));
+  cwnd_ = static_cast<double>(p.mss);
+  in_recovery_ = false;
+  dupacks_ = 0;
+  retransmit_at(snd_una_);
+  arm_rto();
+}
+
+void TcpConnection::do_reset() {
+  state_ = State::kClosed;
+  rto_timer_.cancel();
+  delack_timer_.cancel();
+  tx_signal_.notify();
+  established_.open();  // unblock connect()ors; they must check state()
+  for (auto& [target, gate] : ack_waiters_) gate->open();
+  ack_waiters_.clear();
+  stack_.remove_connection(id_);
+  for (auto& handler : reset_handlers_) handler();
+}
+
+void TcpConnection::maybe_finish_close() {
+  const bool our_side_done = fin_sent_ && snd_una_ >= fin_seq_ + 1;
+  const bool peer_side_done = peer_fin_ && rcv_nxt_ >= peer_fin_seq_;
+  if (our_side_done && peer_side_done && state_ != State::kClosed) {
+    state_ = State::kClosed;
+    rto_timer_.cancel();
+    delack_timer_.cancel();
+    tx_signal_.notify();
+    stack_.remove_connection(id_);
+  }
+}
+
+}  // namespace dclue::net

@@ -1,0 +1,96 @@
+#include "net/topology.hpp"
+
+#include <string>
+
+namespace dclue::net {
+
+Topology::Topology(sim::Engine& engine, const TopologyParams& params)
+    : engine_(engine), params_(params) {
+  outer_router_ = std::make_unique<Router>(engine_, "outer", params_.outer_router);
+
+  for (int lata = 0; lata < params_.latas; ++lata) {
+    auto inner = std::make_unique<Router>(
+        engine_, "inner" + std::to_string(lata), params_.inner_router);
+
+    // Inter-LATA duplex pair; each direction carries half the extra latency.
+    const sim::Duration prop =
+        params_.inter_lata_prop + params_.extra_inter_lata_latency / 2.0;
+    auto up = std::make_unique<Link>(engine_, "lata" + std::to_string(lata) + "-up",
+                                     params_.inter_lata_rate, prop, params_.qos);
+    auto down = std::make_unique<Link>(
+        engine_, "lata" + std::to_string(lata) + "-down", params_.inter_lata_rate,
+        prop, params_.qos);
+    up->connect(outer_router_.get());
+    down->connect(inner.get());
+    inner->set_default_route(up.get());
+    lata_uplinks_.push_back(up.get());
+    lata_downlinks_.push_back(down.get());
+    links_.push_back(std::move(up));
+    links_.push_back(std::move(down));
+    inner_routers_.push_back(std::move(inner));
+  }
+
+  for (int lata = 0; lata < params_.latas; ++lata) {
+    for (int s = 0; s < params_.servers_per_lata; ++s) {
+      Nic* nic = attach_host(*inner_routers_[lata], "srv", lata * 100 + s,
+                             /*register_on_outer=*/true);
+      server_nics_.push_back(nic);
+    }
+    for (int s = 0; s < params_.extra_servers_per_lata; ++s) {
+      Nic* nic = attach_host(*inner_routers_[lata], "xsrv", lata * 100 + s,
+                             /*register_on_outer=*/true);
+      extra_server_nics_.push_back(nic);
+    }
+  }
+  for (int c = 0; c < params_.client_hosts; ++c) {
+    client_nics_.push_back(attach_host(*outer_router_, "cli", c, false));
+  }
+  for (int c = 0; c < params_.extra_client_hosts; ++c) {
+    extra_client_nics_.push_back(attach_host(*outer_router_, "xcli", c, false));
+  }
+}
+
+Nic* Topology::attach_host(Router& router, const char* name_prefix, int index,
+                           bool register_on_outer) {
+  const Address addr = next_address_++;
+  const std::string base = std::string(name_prefix) + std::to_string(index);
+  auto up = std::make_unique<Link>(engine_, base + "-up", params_.host_link_rate,
+                                   params_.host_link_prop, params_.qos);
+  auto down = std::make_unique<Link>(engine_, base + "-down",
+                                     params_.host_link_rate,
+                                     params_.host_link_prop, params_.qos);
+  auto nic = std::make_unique<Nic>(addr, up.get());
+  up->connect(&router);
+  down->connect(nic.get());
+  router.add_route(addr, down.get());
+  if (register_on_outer) {
+    // The outer router reaches this host through its LATA's down link.
+    for (int lata = 0; lata < params_.latas; ++lata) {
+      if (inner_routers_[lata].get() == &router) {
+        outer_router_->add_route(addr, lata_downlinks_[lata]);
+      }
+    }
+  }
+  Nic* raw = nic.get();
+  links_.push_back(std::move(up));
+  links_.push_back(std::move(down));
+  nics_.push_back(std::move(nic));
+  return raw;
+}
+
+std::uint64_t Topology::total_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& link : links_) total += link->queue().drops().count();
+  total += outer_router_->input_drops().count();
+  for (const auto& r : inner_routers_) total += r->input_drops().count();
+  return total;
+}
+
+void Topology::reset_stats() {
+  const sim::Time now = engine_.now();
+  for (auto& link : links_) link->reset_stats(now);
+  outer_router_->reset_stats(now);
+  for (auto& r : inner_routers_) r->reset_stats(now);
+}
+
+}  // namespace dclue::net

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file topology.hpp
+/// Builds the paper's Fig-1 network: one or more LATAs (sub-clusters), each
+/// with an inner router connecting its server nodes, an outer router joining
+/// the LATAs, and client hosts (plus optional cross-traffic "extra" hosts)
+/// homed at the outer router. Latency experiments adjust the inter-LATA link
+/// propagation ("each of the two inter-lata links includes one-half of the
+/// additional latency").
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/nic.hpp"
+#include "net/router.hpp"
+
+namespace dclue::net {
+
+struct TopologyParams {
+  int latas = 1;
+  int servers_per_lata = 4;
+  int client_hosts = 1;         ///< TPC-C client emulators at the outer router
+  int extra_client_hosts = 0;   ///< cross-traffic sources at the outer router
+  int extra_servers_per_lata = 0;  ///< cross-traffic sinks inside LATAs
+
+  sim::BitRate host_link_rate = sim::gbps(1);
+  sim::Duration host_link_prop = sim::microseconds(5);
+  sim::BitRate inter_lata_rate = sim::gbps(1);
+  sim::Duration inter_lata_prop = sim::microseconds(5);
+  /// Additional one-way inter-LATA latency (Figs 12-13); split across the two
+  /// links of the path through the outer router.
+  sim::Duration extra_inter_lata_latency = 0.0;
+
+  RouterParams inner_router;
+  RouterParams outer_router;
+  QosParams qos;
+};
+
+class Topology {
+ public:
+  Topology(sim::Engine& engine, const TopologyParams& params);
+
+  [[nodiscard]] int num_servers() const {
+    return params_.latas * params_.servers_per_lata;
+  }
+  [[nodiscard]] int num_clients() const { return params_.client_hosts; }
+  [[nodiscard]] int num_extra_clients() const { return params_.extra_client_hosts; }
+  [[nodiscard]] int num_extra_servers() const {
+    return params_.latas * params_.extra_servers_per_lata;
+  }
+
+  [[nodiscard]] Nic& server_nic(int i) { return *server_nics_.at(i); }
+  [[nodiscard]] Nic& client_nic(int i) { return *client_nics_.at(i); }
+  [[nodiscard]] Nic& extra_client_nic(int i) { return *extra_client_nics_.at(i); }
+  [[nodiscard]] Nic& extra_server_nic(int i) { return *extra_server_nics_.at(i); }
+
+  [[nodiscard]] Router& outer_router() { return *outer_router_; }
+  [[nodiscard]] Router& inner_router(int lata) { return *inner_routers_.at(lata); }
+  /// The LATA-to-outer / outer-to-LATA link pair for cross-LATA stats.
+  [[nodiscard]] Link& lata_uplink(int lata) { return *lata_uplinks_.at(lata); }
+  [[nodiscard]] Link& lata_downlink(int lata) { return *lata_downlinks_.at(lata); }
+
+  /// Which LATA a server index belongs to.
+  [[nodiscard]] int lata_of_server(int i) const { return i / params_.servers_per_lata; }
+
+  /// Total tail drops across every queue in the fabric.
+  [[nodiscard]] std::uint64_t total_drops() const;
+
+  void reset_stats();
+
+ private:
+  /// Create a host NIC dual-linked to \p router, registering its route.
+  Nic* attach_host(Router& router, const char* name_prefix, int index,
+                   bool register_on_outer);
+
+  sim::Engine& engine_;
+  TopologyParams params_;
+  Address next_address_ = 1;
+
+  std::unique_ptr<Router> outer_router_;
+  std::vector<std::unique_ptr<Router>> inner_routers_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<Link*> lata_uplinks_;
+  std::vector<Link*> lata_downlinks_;
+  std::vector<Nic*> server_nics_;
+  std::vector<Nic*> client_nics_;
+  std::vector<Nic*> extra_client_nics_;
+  std::vector<Nic*> extra_server_nics_;
+};
+
+}  // namespace dclue::net

@@ -1,0 +1,79 @@
+#include "proto/channel.hpp"
+
+#include <cassert>
+
+namespace dclue::proto {
+
+std::unordered_map<std::uint64_t, MsgChannel*>& MsgChannel::rendezvous() {
+  static std::unordered_map<std::uint64_t, MsgChannel*> map;
+  return map;
+}
+
+MsgChannel::MsgChannel(std::shared_ptr<net::TcpConnection> conn)
+    : conn_(std::move(conn)) {
+  // The mailbox needs an engine; borrow it from the connection's stack via
+  // the established gate — but Gate does not expose it, so thread the engine
+  // through the TcpConnection's stack instead.
+  inbox_ = std::make_shared<sim::Mailbox<Message>>(conn_->stack_engine());
+  auto [it, inserted] = rendezvous().try_emplace(conn_->id(), this);
+  if (!inserted) {
+    peer_ = it->second;
+    peer_->peer_ = this;
+    rendezvous().erase(conn_->id());
+    // Messages either side framed before pairing become in-flight now (they
+    // may already have arrived as bytes, so reprocess the byte counter).
+    in_flight_ = std::move(peer_->out_pending_);
+    peer_->out_pending_.clear();
+    peer_->in_flight_ = std::move(out_pending_);
+    out_pending_.clear();
+    on_bytes(0);
+    peer_->on_bytes(0);
+  }
+  conn_->set_rx_handler([this](sim::Bytes n) { on_bytes(n); });
+  // A reset unblocks any coroutine waiting on the inbox. The weak_ptr keeps
+  // a destroyed channel from being touched by a late reset.
+  conn_->add_reset_handler(
+      [weak = std::weak_ptr<sim::Mailbox<Message>>(inbox_)] {
+        if (auto inbox = weak.lock()) {
+          inbox->push(Message{kChannelReset, 0, nullptr, 0.0});
+        }
+      });
+  conn_->set_eof_handler([weak = std::weak_ptr<sim::Mailbox<Message>>(inbox_)] {
+    if (auto inbox = weak.lock()) {
+      inbox->push(Message{kChannelClosed, 0, nullptr, 0.0});
+    }
+  });
+}
+
+MsgChannel::~MsgChannel() {
+  rendezvous().erase(conn_->id());
+  if (peer_) peer_->peer_ = nullptr;
+  conn_->set_rx_handler({});
+}
+
+void MsgChannel::send(Message msg) {
+  assert(msg.bytes > 0);
+  msg.sent_at = conn_->stack_engine().now();
+  ++sent_;
+  // Frame on the peer's reassembly queue (or hold until the peer endpoint
+  // constructs, for sends racing the accept path), then push bytes into TCP.
+  if (peer_) {
+    peer_->in_flight_.push_back(msg);
+  } else {
+    out_pending_.push_back(msg);
+  }
+  conn_->send(msg.bytes);
+}
+
+void MsgChannel::on_bytes(sim::Bytes n) {
+  if (n == 0 && in_flight_.empty()) return;
+  rx_pending_ += n;
+  while (!in_flight_.empty() && rx_pending_ >= in_flight_.front().bytes) {
+    rx_pending_ -= in_flight_.front().bytes;
+    ++received_;
+    inbox_->push(std::move(in_flight_.front()));
+    in_flight_.pop_front();
+  }
+}
+
+}  // namespace dclue::proto

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file channel.hpp
+/// Message framing over a TCP byte stream. The fabric moves byte counts;
+/// message *meaning* (typed payloads) rides a simulator side-band that is
+/// paired per connection — legitimate because TCP delivers the byte stream
+/// reliably and in order, so the Nth framed message on the wire is always
+/// the Nth message handed to the peer.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "net/tcp.hpp"
+#include "sim/sync.hpp"
+
+namespace dclue::proto {
+
+/// Sentinel message type delivered to a channel's inbox when its underlying
+/// connection resets; consumers must check for it to avoid waiting forever.
+inline constexpr std::uint32_t kChannelReset = 0xffffffff;
+/// Sentinel delivered when the peer cleanly closed (FIN received).
+inline constexpr std::uint32_t kChannelClosed = 0xfffffffe;
+
+struct Message {
+  std::uint32_t type = 0;
+  sim::Bytes bytes = 0;             ///< on-wire payload size
+  std::shared_ptr<void> payload;    ///< typed content for the receiver
+  sim::Time sent_at = 0.0;          ///< for end-to-end delay accounting
+};
+
+/// One endpoint of a message channel. Construct one on each side of an
+/// established TCP connection; endpoints find each other by connection id.
+class MsgChannel {
+ public:
+  explicit MsgChannel(std::shared_ptr<net::TcpConnection> conn);
+  ~MsgChannel();
+  MsgChannel(const MsgChannel&) = delete;
+  MsgChannel& operator=(const MsgChannel&) = delete;
+
+  /// Queue \p msg for transmission; bytes flow through TCP with everything
+  /// that implies (cwnd, loss, priority queuing of the connection's DSCP).
+  void send(Message msg);
+
+  /// Received, fully-reassembled messages.
+  [[nodiscard]] sim::Mailbox<Message>& inbox() { return *inbox_; }
+
+  [[nodiscard]] net::TcpConnection& connection() { return *conn_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_received() const { return received_; }
+
+ private:
+  void on_bytes(sim::Bytes n);
+
+  std::shared_ptr<net::TcpConnection> conn_;
+  std::shared_ptr<sim::Mailbox<Message>> inbox_;
+  MsgChannel* peer_ = nullptr;
+  std::deque<Message> in_flight_;    ///< messages the peer has framed to us
+  std::deque<Message> out_pending_;  ///< framed before the peer endpoint existed
+  sim::Bytes rx_pending_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+
+  /// Rendezvous: connection ids are globally unique, so endpoints of the
+  /// same connection pair up here at construction time.
+  static std::unordered_map<std::uint64_t, MsgChannel*>& rendezvous();
+};
+
+}  // namespace dclue::proto

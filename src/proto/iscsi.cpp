@@ -1,0 +1,140 @@
+#include "proto/iscsi.hpp"
+
+namespace dclue::proto {
+namespace {
+
+/// Split a transfer into data PDUs and send them with per-PDU costs.
+sim::Task<void> send_data_pdus(MsgChannel& channel, const net::CpuCharge& charge,
+                               const IscsiCostModel& costs, std::uint64_t tag,
+                               sim::Bytes total, std::uint32_t type) {
+  sim::Bytes remaining = total;
+  while (remaining > 0) {
+    const sim::Bytes chunk = std::min(remaining, kIscsiMaxDataSegment);
+    remaining -= chunk;
+    co_await charge(costs.per_pdu + static_cast<double>(chunk) * costs.per_byte_digest,
+                    cpu::JobClass::kKernel);
+    Message msg;
+    msg.type = type;
+    msg.bytes = chunk + kIscsiHeaderBytes;
+    msg.payload = std::make_shared<IscsiDataPayload>(
+        IscsiDataPayload{tag, chunk, remaining == 0});
+    channel.send(std::move(msg));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Target
+// ---------------------------------------------------------------------------
+
+sim::DetachedTask IscsiTarget::serve_loop(std::shared_ptr<MsgChannel> channel) {
+  for (;;) {
+    Message msg = co_await channel->inbox().receive();
+    switch (msg.type) {
+      case kIscsiCmd: {
+        auto cmd = *std::static_pointer_cast<IscsiCmdPayload>(msg.payload);
+        co_await charge_(costs_.per_command, cpu::JobClass::kKernel);
+        if (cmd.is_write) {
+          writes_[cmd.tag] = WriteAssembly{0, cmd};
+        } else {
+          handle_command(channel, cmd);
+        }
+        break;
+      }
+      case kIscsiDataOut: {
+        auto data = *std::static_pointer_cast<IscsiDataPayload>(msg.payload);
+        co_await charge_(
+            costs_.per_pdu + static_cast<double>(data.bytes) * costs_.per_byte_digest,
+            cpu::JobClass::kKernel);
+        auto it = writes_.find(data.tag);
+        if (it == writes_.end()) break;
+        it->second.received += data.bytes;
+        if (it->second.received >= it->second.cmd.bytes) {
+          IscsiCmdPayload cmd = it->second.cmd;
+          writes_.erase(it);
+          handle_command(channel, cmd);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+sim::DetachedTask IscsiTarget::handle_command(std::shared_ptr<MsgChannel> channel,
+                                              IscsiCmdPayload cmd) {
+  if (cmd.is_write) {
+    co_await disk_.write(cmd.block, cmd.bytes);
+  } else {
+    co_await disk_.read(cmd.block, cmd.bytes);
+    co_await send_data_pdus(*channel, charge_, costs_, cmd.tag, cmd.bytes,
+                            kIscsiDataIn);
+  }
+  co_await charge_(costs_.per_command, cpu::JobClass::kKernel);
+  Message status;
+  status.type = kIscsiStatus;
+  status.bytes = kIscsiHeaderBytes;
+  status.payload = std::make_shared<IscsiStatusPayload>(IscsiStatusPayload{cmd.tag});
+  channel->send(std::move(status));
+  ++served_;
+}
+
+// ---------------------------------------------------------------------------
+// Initiator
+// ---------------------------------------------------------------------------
+
+void IscsiInitiator::attach(std::shared_ptr<MsgChannel> channel) {
+  channel_ = std::move(channel);
+  reply_pump();
+}
+
+sim::Task<void> IscsiInitiator::io(std::int64_t block, sim::Bytes bytes,
+                                   bool is_write) {
+  const std::uint64_t tag = next_tag_++;
+  auto gate = std::make_unique<sim::Gate>(engine_);
+  sim::Gate* gate_ptr = gate.get();
+  pending_[tag] = Pending{std::move(gate)};
+
+  co_await charge_(costs_.per_command, cpu::JobClass::kKernel);
+  Message cmd;
+  cmd.type = kIscsiCmd;
+  cmd.bytes = kIscsiHeaderBytes;
+  cmd.payload = std::make_shared<IscsiCmdPayload>(
+      IscsiCmdPayload{tag, block, bytes, is_write});
+  channel_->send(std::move(cmd));
+  if (is_write) {
+    co_await send_data_pdus(*channel_, charge_, costs_, tag, bytes, kIscsiDataOut);
+  }
+  co_await gate_ptr->wait();
+  pending_.erase(tag);
+  ++completed_;
+}
+
+sim::DetachedTask IscsiInitiator::reply_pump() {
+  auto channel = channel_;
+  for (;;) {
+    Message msg = co_await channel->inbox().receive();
+    switch (msg.type) {
+      case kIscsiDataIn: {
+        auto data = *std::static_pointer_cast<IscsiDataPayload>(msg.payload);
+        co_await charge_(
+            costs_.per_pdu + static_cast<double>(data.bytes) * costs_.per_byte_digest,
+            cpu::JobClass::kKernel);
+        break;
+      }
+      case kIscsiStatus: {
+        auto status = *std::static_pointer_cast<IscsiStatusPayload>(msg.payload);
+        co_await charge_(costs_.per_command, cpu::JobClass::kKernel);
+        auto it = pending_.find(status.tag);
+        if (it != pending_.end()) it->second.done->open();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace dclue::proto

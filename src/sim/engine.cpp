@@ -1,0 +1,45 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+
+namespace dclue::sim {
+
+EventHandle Engine::at(Time t, std::function<void()> fn) {
+  assert(t >= now_);
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(fn), flag});
+  return EventHandle{std::move(flag)};
+}
+
+std::uint64_t Engine::run_until(Time t_end) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    // priority_queue::top() is const; the event must be moved out before the
+    // callback runs because the callback may schedule (and thus reallocate).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.time;
+    ev.fn();
+    ++n;
+    ++executed_;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return n;
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.time;
+    ev.fn();
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
+}  // namespace dclue::sim

@@ -1,0 +1,64 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace dclue::sim {
+namespace {
+
+/// splitmix64: the standard seed-spreading finalizer.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+std::size_t Rng::pick(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double r = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+std::int64_t Rng::nurand(std::int64_t a, std::int64_t x, std::int64_t y) {
+  // Constant C is fixed per stream; any value in [0, a] is spec-conformant.
+  const std::int64_t c = a / 2;
+  return (((uniform_int(0, a) | uniform_int(x, y)) + c) % (y - x + 1)) + x;
+}
+
+Rng RngFactory::stream(std::string_view name, std::uint64_t index) const {
+  std::uint64_t s = splitmix64(master_seed_ ^ fnv1a(name));
+  s = splitmix64(s ^ (index * 0x9e3779b97f4a7c15ULL + 1));
+  return Rng{s};
+}
+
+}  // namespace dclue::sim

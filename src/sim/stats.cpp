@@ -1,0 +1,20 @@
+#include "sim/stats.hpp"
+
+namespace dclue::sim {
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = tally_.count();
+  if (total == 0) return 0.0;
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    acc += bins_[i];
+    if (acc > target) {
+      double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+      return bin_lo(i) + width / 2.0;
+    }
+  }
+  return hi_;
+}
+
+}  // namespace dclue::sim

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file stats.hpp
+/// Online statistics collectors. The model reports everything the paper
+/// plots — messages per transaction, lock-wait times, CPI, active threads —
+/// and all of those "fall out of the actual functioning of the simulation",
+/// so every subsystem accumulates into these collectors rather than exposing
+/// tuned constants.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace dclue::sim {
+
+/// Sample statistics via Welford's online algorithm.
+class Tally {
+ public:
+  void add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = Tally{}; }
+
+  /// Combine another tally into this one (parallel-Welford merge).
+  void merge(const Tally& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant quantity (queue lengths,
+/// active thread counts, utilization).
+class TimeWeighted {
+ public:
+  void set(Time now, double value) {
+    accumulate(now);
+    value_ = value;
+  }
+  void adjust(Time now, double delta) { set(now, value_ + delta); }
+
+  [[nodiscard]] double current() const { return value_; }
+
+  /// Average over [start, now].
+  [[nodiscard]] double average(Time now) const {
+    double span = now - start_;
+    if (span <= 0.0) return value_;
+    return (integral_ + value_ * (now - last_)) / span;
+  }
+
+  /// Restart the measurement window (e.g. at the end of warmup).
+  void reset(Time now) {
+    start_ = now;
+    last_ = now;
+    integral_ = 0.0;
+  }
+
+ private:
+  void accumulate(Time now) {
+    integral_ += value_ * (now - last_);
+    last_ = now;
+  }
+
+  Time start_ = 0.0;
+  Time last_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+};
+
+/// Event counter with windowed rate support.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { count_ += n; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  void reset() { count_ = 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the end
+/// bins. Used for latency distributions in the experiment reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), bins_(bins, 0) {}
+
+  void add(double x) {
+    tally_.add(x);
+    double f = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(f * static_cast<double>(bins_.size()));
+    idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(bins_.size()) - 1);
+    ++bins_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Approximate quantile from bin midpoints.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const Tally& tally() const { return tally_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return bins_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(bins_.size());
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> bins_;
+  Tally tally_;
+};
+
+}  // namespace dclue::sim

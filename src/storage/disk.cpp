@@ -1,0 +1,61 @@
+#include "storage/disk.hpp"
+
+#include <cmath>
+
+namespace dclue::storage {
+
+sim::Task<void> Disk::submit(std::int64_t block, sim::Bytes bytes, bool is_write) {
+  auto gate = std::make_unique<sim::Gate>(engine_);
+  sim::Gate* gate_ptr = gate.get();
+  queue_.emplace(block, Request{block, bytes, is_write, engine_.now(), std::move(gate)});
+  work_.notify();
+  co_await gate_ptr->wait();
+}
+
+std::multimap<std::int64_t, Disk::Request>::iterator Disk::pick_next() {
+  auto it = queue_.lower_bound(head_);
+  if (it == queue_.end()) it = queue_.begin();  // C-LOOK wrap
+  return it;
+}
+
+sim::Duration Disk::service_time_for(const Request& req) const {
+  const double distance = std::abs(static_cast<double>(req.block - head_));
+  const double norm = std::min(distance / static_cast<double>(params_.span_blocks), 1.0);
+  sim::Duration seek = 0.0;
+  sim::Duration rotation;
+  if (distance == 0.0) {
+    // Sequential: the head is already on track; assume near-immediate
+    // rotational alignment (track-buffer / back-to-back transfer).
+    rotation = params_.avg_rotation() * 0.1;
+  } else {
+    seek = params_.min_seek +
+           (params_.avg_seek - params_.min_seek) * std::sqrt(norm) * 2.0;
+    rotation = params_.avg_rotation();
+  }
+  const sim::Duration transfer =
+      static_cast<double>(req.bytes) / params_.transfer_bytes_per_s;
+  return params_.controller_overhead + seek + rotation + transfer;
+}
+
+sim::DetachedTask Disk::service_loop() {
+  for (;;) {
+    while (queue_.empty()) {
+      busy_.set(engine_.now(), 0.0);
+      co_await work_.wait();
+    }
+    busy_.set(engine_.now(), 1.0);
+    auto it = pick_next();
+    Request req = std::move(it->second);
+    queue_.erase(it);
+    const sim::Duration service = service_time_for(req);
+    // The head ends one block past the transferred range.
+    head_ = req.block + (req.bytes + 8191) / 8192;
+    co_await sim::delay_for(engine_, service);
+    ops_.add();
+    service_.add(service);
+    latency_.add(engine_.now() - req.submitted);
+    req.done->open();
+  }
+}
+
+}  // namespace dclue::storage

@@ -1,0 +1,117 @@
+#include "workload/client.hpp"
+
+namespace dclue::workload {
+
+sim::DetachedTask TerminalFleet::open_loop_arrivals() {
+  sim::Rng rng = rngs_.stream("open-loop",
+                              static_cast<std::uint64_t>(params_.first_terminal_index));
+  if (params_.start_gate) co_await params_.start_gate->wait();
+  for (;;) {
+    co_await sim::delay_for(engine_, rng.exponential(1.0 / params_.open_loop_rate));
+    if (inflight_ >= params_.max_inflight) {
+      ++admission_drops_;
+      continue;
+    }
+    // Arrivals cycle through the warehouse space like the terminal pool.
+    const std::int64_t w =
+        static_cast<std::int64_t>((params_.first_terminal_index + next_arrival_++) %
+                                  static_cast<std::uint64_t>(params_.warehouses)) +
+        1;
+    const int server = rng.chance(params_.affinity)
+                           ? params_.owner_of_warehouse(w)
+                           : static_cast<int>(rng.uniform_int(0, params_.nodes - 1));
+    one_business_txn(w, server);
+  }
+}
+
+sim::DetachedTask TerminalFleet::one_business_txn(std::int64_t w, int server) {
+  ++inflight_;
+  const sim::Time t0 = engine_.now();
+  TpccInputGenerator gen(
+      scale_, rngs_.stream("open-gen", next_arrival_ * 131 +
+                                           static_cast<std::uint64_t>(
+                                               params_.first_terminal_index)));
+  auto conn = stack_.connect(params_.server_addrs[static_cast<std::size_t>(server)],
+                             kDbPort);
+  auto channel = std::make_shared<proto::MsgChannel>(conn);
+  ++stuck_connecting;
+  co_await conn->established().wait();
+  --stuck_connecting;
+  if (conn->state() == net::TcpConnection::State::kClosed) {
+    ++conn_failures_;
+    --inflight_;
+    co_return;
+  }
+  bool ok = true;
+  for (const TxnInput& input : gen.business_transaction(w)) {
+    proto::Message req;
+    req.type = kClientRequest;
+    req.bytes = kRequestBytes;
+    req.payload = std::make_shared<ClientRequestBody>(ClientRequestBody{input});
+    channel->send(std::move(req));
+    ++stuck_receiving;
+    proto::Message reply = co_await channel->inbox().receive();
+    --stuck_receiving;
+    if (reply.type >= proto::kChannelClosed) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok) {
+    ++completed_;
+    bt_time_.add(engine_.now() - t0);
+    if (conn->state() != net::TcpConnection::State::kClosed) conn->close();
+  } else {
+    ++conn_failures_;
+  }
+  --inflight_;
+}
+
+sim::DetachedTask TerminalFleet::terminal_loop(int t) {
+  const int global_index = params_.first_terminal_index + t;
+  sim::Rng rng = rngs_.stream("terminal", static_cast<std::uint64_t>(global_index));
+  TpccInputGenerator gen(scale_,
+                         rngs_.stream("terminal-gen",
+                                      static_cast<std::uint64_t>(global_index)));
+  // Fixed warehouse binding per the TPC-C terminal rules.
+  const std::int64_t w = global_index % params_.warehouses + 1;
+  const int home = params_.owner_of_warehouse(w);
+
+  if (params_.start_gate) co_await params_.start_gate->wait();
+  for (;;) {
+    co_await sim::delay_for(engine_, rng.exponential(params_.think_time));
+    // Affinity routing: right server with probability alpha, random otherwise.
+    const int server = rng.chance(params_.affinity)
+                           ? home
+                           : static_cast<int>(rng.uniform_int(0, params_.nodes - 1));
+    auto conn = stack_.connect(params_.server_addrs[static_cast<std::size_t>(server)],
+                               kDbPort);
+    auto channel = std::make_shared<proto::MsgChannel>(conn);
+    co_await conn->established().wait();
+    if (conn->state() == net::TcpConnection::State::kClosed) {
+      ++conn_failures_;
+      continue;
+    }
+    bool ok = true;
+    for (const TxnInput& input : gen.business_transaction(w)) {
+      proto::Message req;
+      req.type = kClientRequest;
+      req.bytes = kRequestBytes;
+      req.payload = std::make_shared<ClientRequestBody>(ClientRequestBody{input});
+      channel->send(std::move(req));
+      proto::Message reply = co_await channel->inbox().receive();
+      if (reply.type >= proto::kChannelClosed) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      ++completed_;
+      if (conn->state() != net::TcpConnection::State::kClosed) conn->close();
+    } else {
+      ++conn_failures_;
+    }
+  }
+}
+
+}  // namespace dclue::workload

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file client.hpp
+/// Closed-loop TPC-C terminal emulation. Terminals live on client hosts at
+/// the outer router; each is bound to one warehouse and issues *business
+/// transactions* — a sequence starting with a new-order — over a TCP
+/// connection established per business transaction (§2.3), routed to the
+/// warehouse's home server with probability `affinity` and to a uniformly
+/// random server otherwise.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "proto/channel.hpp"
+#include "sim/rng.hpp"
+#include "workload/tpcc_txn.hpp"
+
+namespace dclue::workload {
+
+enum ClientMsgType : std::uint32_t {
+  kClientRequest = 300,
+  kClientReply,
+};
+inline constexpr sim::Bytes kRequestBytes = 300;
+inline constexpr sim::Bytes kReplyBytes = 1200;
+inline constexpr std::uint16_t kDbPort = 5432;
+
+struct ClientRequestBody {
+  TxnInput input;
+};
+struct ClientReplyBody {
+  bool committed = false;
+};
+
+struct TerminalFleetParams {
+  int terminals = 0;
+  int first_terminal_index = 0;  ///< global index base (warehouse binding)
+  sim::Duration think_time = 0.0;  ///< scaled
+  /// Open-loop mode (the paper's latency/QoS studies "do not place any
+  /// bound on the number of threads"): business transactions arrive as a
+  /// Poisson process at this rate (per fleet, scaled) regardless of
+  /// completions. 0 = closed loop.
+  double open_loop_rate = 0.0;
+  /// Safety valve for open-loop overload (the admission control the paper
+  /// says "needs to be in place"): arrivals beyond this many in-flight
+  /// business transactions are dropped.
+  int max_inflight = 400;
+  double affinity = 1.0;
+  std::int64_t warehouses = 1;
+  int nodes = 1;
+  std::vector<net::Address> server_addrs;  ///< indexed by node id
+  std::function<int(std::int64_t)> owner_of_warehouse;
+  sim::Gate* start_gate = nullptr;  ///< cluster-ready barrier
+};
+
+class TerminalFleet {
+ public:
+  TerminalFleet(sim::Engine& engine, net::TcpStack& stack, db::TpccScale scale,
+                TerminalFleetParams params, sim::RngFactory rngs)
+      : engine_(engine),
+        stack_(stack),
+        scale_(scale),
+        params_(std::move(params)),
+        rngs_(rngs) {}
+
+  void start() {
+    if (params_.open_loop_rate > 0.0) {
+      open_loop_arrivals();
+      return;
+    }
+    for (int t = 0; t < params_.terminals; ++t) terminal_loop(t);
+  }
+
+  [[nodiscard]] std::uint64_t business_txns_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t connection_failures() const { return conn_failures_; }
+  [[nodiscard]] std::uint64_t admission_drops() const { return admission_drops_; }
+  [[nodiscard]] const sim::Tally& bt_time() const { return bt_time_; }
+  [[nodiscard]] std::uint64_t arrivals() const { return next_arrival_; }
+  [[nodiscard]] int inflight() const { return inflight_; }
+
+ private:
+  sim::DetachedTask terminal_loop(int t);
+  sim::DetachedTask open_loop_arrivals();
+  sim::DetachedTask one_business_txn(std::int64_t w, int server);
+
+  sim::Engine& engine_;
+  net::TcpStack& stack_;
+  db::TpccScale scale_;
+  TerminalFleetParams params_;
+  sim::RngFactory rngs_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t conn_failures_ = 0;
+  std::uint64_t admission_drops_ = 0;
+  int inflight_ = 0;
+  std::uint64_t next_arrival_ = 0;
+  sim::Tally bt_time_;
+
+ public:
+  // Debug visibility: where in the protocol in-flight business txns sit.
+  int stuck_connecting = 0;
+  int stuck_receiving = 0;
+};
+
+}  // namespace dclue::workload

@@ -1,0 +1,161 @@
+#pragma once
+
+/// \file tpcc_txn.hpp
+/// The five TPC-C transactions executed against the clustered database:
+/// real B+-tree lookups and row mutations, with buffer-cache/cache-fusion
+/// page accesses, the paper's two-phase locking (phase 1 latches while data
+/// is brought in; phase 2 converts latches to global locks in order, waiting
+/// only on the first and release-retrying on later conflicts), MVCC version
+/// creation, and WAL commit.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/fusion.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "cpu/processor.hpp"
+#include "db/log_manager.hpp"
+#include "db/tpcc_schema.hpp"
+#include "sim/rng.hpp"
+
+namespace dclue::workload {
+
+enum class TxnType : std::uint8_t {
+  kNewOrder = 0,
+  kPayment,
+  kOrderStatus,
+  kDelivery,
+  kStockLevel,
+};
+inline constexpr int kNumTxnTypes = 5;
+/// Nominal mix: 43/43/5/5/4 (§2.2).
+inline constexpr double kTxnMix[kNumTxnTypes] = {0.43, 0.43, 0.05, 0.05, 0.04};
+
+struct OrderLineInput {
+  std::int64_t item = 0;
+  std::int64_t supply_w = 0;
+  int quantity = 0;
+};
+
+struct TxnInput {
+  TxnType type = TxnType::kNewOrder;
+  std::int64_t w = 1;  ///< home warehouse of the issuing terminal
+  std::int64_t d = 1;
+  std::int64_t c = 1;
+  std::vector<OrderLineInput> lines;  ///< new-order
+  double amount = 0.0;                ///< payment
+  std::int64_t c_w = 1;               ///< payment: customer's warehouse (15% remote)
+  std::int64_t c_d = 1;
+  int threshold = 15;                 ///< stock-level
+  bool rollback = false;              ///< 1% of new-orders abort by spec
+};
+
+/// Generates spec-conformant transaction inputs for a terminal bound to one
+/// warehouse.
+class TpccInputGenerator {
+ public:
+  TpccInputGenerator(const db::TpccScale& scale, sim::Rng rng)
+      : scale_(scale), rng_(std::move(rng)) {}
+
+  TxnInput generate(TxnType type, std::int64_t home_w);
+  /// A business transaction: new-order first, then the rest of the mix in
+  /// proportion (§2.3: "a sequence of TPC-C transactions starting with the
+  /// new-order in the proportions specified").
+  std::vector<TxnInput> business_transaction(std::int64_t home_w);
+
+ private:
+  db::TpccScale scale_;
+  sim::Rng rng_;
+};
+
+/// Everything a transaction needs from its executing node.
+struct NodeEnv {
+  sim::Engine* engine = nullptr;
+  int node_id = 0;
+  int num_nodes = 1;
+  db::TpccDatabase* db = nullptr;
+  cluster::FusionLayer* fusion = nullptr;
+  db::VersionManager* versions = nullptr;
+  db::LogManager* log = nullptr;
+  cpu::Processor* proc = nullptr;
+  core::NodeStats* stats = nullptr;
+  core::PathLengths pl;
+  std::uint64_t* global_clock = nullptr;  ///< cluster logical timestamp
+  /// Storage partition: which node's disks hold warehouse w's data.
+  std::function<int(std::int64_t)> storage_home_of_warehouse;
+  sim::Rng* rng = nullptr;  ///< node-local stream (retry backoff)
+  /// Mean delay before retrying phase 2 after a lock failure (scaled).
+  sim::Duration lock_retry_delay = sim::milliseconds(0.5);
+};
+
+/// Executes transactions on one node. One instance per node; invoked by the
+/// request-handling threads.
+class TpccExecutor {
+ public:
+  explicit TpccExecutor(NodeEnv env) : env_(std::move(env)) {}
+
+  /// Run one transaction to commit or abort; returns true on commit.
+  sim::Task<bool> execute(const TxnInput& input, cpu::ThreadId tid);
+
+ private:
+  struct PendingWrite {
+    db::PageId page;
+    int subpage;
+    sim::Bytes bytes;
+  };
+  struct LockRef {
+    db::LockName name;
+    int home;
+    bool operator==(const LockRef&) const = default;
+  };
+  struct TxnCtx {
+    std::uint64_t token = 0;
+    db::Timestamp snapshot = 0;
+    cpu::ThreadId tid = 0;
+    std::vector<LockRef> locks;  ///< phase-1 latches, in access order
+    std::vector<PendingWrite> writes;
+    std::vector<std::function<void()>> applies;  ///< run after locks granted
+    sim::Bytes log_bytes = 0;
+    // Latency breakdown bookkeeping.
+    sim::Time started = 0.0;
+    sim::Time phase1_done = 0.0;
+    sim::Duration lock_time = 0.0;
+    sim::Duration log_time = 0.0;
+    sim::Duration apply_time = 0.0;
+  };
+
+  sim::Task<bool> run_txn(const TxnInput& input, TxnCtx& ctx);
+  sim::Task<void> new_order(const TxnInput& in, TxnCtx& ctx);
+  sim::Task<void> payment(const TxnInput& in, TxnCtx& ctx);
+  sim::Task<void> order_status(const TxnInput& in, TxnCtx& ctx);
+  sim::Task<void> delivery(const TxnInput& in, TxnCtx& ctx);
+  sim::Task<void> stock_level(const TxnInput& in, TxnCtx& ctx);
+
+  /// Phase 2 + apply + log + release. Returns false if the transaction had
+  /// to abort (lock retry budget exhausted or spec rollback).
+  sim::Task<bool> commit(TxnCtx& ctx);
+  sim::Task<void> release_all(TxnCtx& ctx, std::size_t count);
+
+  // --- row access primitives (phase 1) -------------------------------------
+  template <typename Row>
+  sim::Task<Row*> read_row(TxnCtx& ctx, db::Table<Row>& table, db::Key key,
+                           std::int64_t w);
+  template <typename Row>
+  sim::Task<void> write_row(TxnCtx& ctx, db::Table<Row>& table, db::Key key,
+                            std::int64_t w, std::function<void(Row&)> apply);
+  template <typename Row>
+  sim::Task<void> insert_row(TxnCtx& ctx, db::Table<Row>& table,
+                             db::Key predicted_key, std::int64_t w,
+                             std::function<void()> apply);
+
+  [[nodiscard]] int storage_home(std::int64_t w) const {
+    return env_.storage_home_of_warehouse(w);
+  }
+
+  NodeEnv env_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace dclue::workload

@@ -1,0 +1,91 @@
+#include "cluster/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dclue::cluster {
+namespace {
+
+db::PageId pg(std::uint64_t n) {
+  return db::make_page_id(db::TableId::kCustomer, false, n);
+}
+
+TEST(Directory, FirstLookupHasNoSupplier) {
+  DirectoryService dir;
+  auto r = dir.lookup(pg(1), 0, false);
+  EXPECT_FALSE(r.has_supplier);
+  EXPECT_TRUE(r.invalidate.empty());
+  EXPECT_EQ(dir.holder_count(pg(1)), 1);  // requester registered in-flight
+}
+
+TEST(Directory, SecondNodeIsDirectedToFirstHolder) {
+  DirectoryService dir;
+  dir.lookup(pg(1), 0, false);
+  auto r = dir.lookup(pg(1), 1, false);
+  EXPECT_TRUE(r.has_supplier);
+  EXPECT_EQ(r.supplier, 0);
+  EXPECT_EQ(dir.holder_count(pg(1)), 2);
+}
+
+TEST(Directory, RequesterIsNeverItsOwnSupplier) {
+  DirectoryService dir;
+  dir.lookup(pg(1), 0, false);
+  auto r = dir.lookup(pg(1), 0, false);
+  EXPECT_FALSE(r.has_supplier);
+}
+
+TEST(Directory, ExclusiveRequestInvalidatesOtherHolders) {
+  DirectoryService dir;
+  dir.lookup(pg(1), 0, false);
+  dir.lookup(pg(1), 1, false);
+  dir.lookup(pg(1), 2, false);
+  auto r = dir.lookup(pg(1), 2, true);
+  EXPECT_EQ(r.invalidate.size(), 2u);
+  EXPECT_EQ(dir.holder_count(pg(1)), 1);  // only the new exclusive owner
+}
+
+TEST(Directory, ExclusiveOwnerIsPreferredSupplier) {
+  DirectoryService dir;
+  dir.lookup(pg(1), 0, true);  // 0 becomes exclusive owner
+  auto r = dir.lookup(pg(1), 1, false);
+  EXPECT_TRUE(r.has_supplier);
+  EXPECT_EQ(r.supplier, 0);
+}
+
+TEST(Directory, SharedRequestDemotesExclusiveOwner) {
+  DirectoryService dir;
+  dir.lookup(pg(1), 0, true);
+  dir.lookup(pg(1), 1, false);
+  // A later exclusive request by a third node must invalidate both.
+  auto r = dir.lookup(pg(1), 2, true);
+  EXPECT_EQ(r.invalidate.size(), 2u);
+}
+
+TEST(Directory, EvictionRemovesHolderAndEmptyEntry) {
+  DirectoryService dir;
+  dir.lookup(pg(1), 0, false);
+  dir.lookup(pg(1), 1, false);
+  dir.evict(pg(1), 0);
+  EXPECT_EQ(dir.holder_count(pg(1)), 1);
+  dir.evict(pg(1), 1);
+  EXPECT_EQ(dir.holder_count(pg(1)), 0);
+  EXPECT_EQ(dir.entries(), 0u);
+}
+
+TEST(Directory, ConfirmIsIdempotent) {
+  DirectoryService dir;
+  dir.lookup(pg(1), 0, false);
+  dir.confirm(pg(1), 0);
+  dir.confirm(pg(1), 0);
+  EXPECT_EQ(dir.holder_count(pg(1)), 1);
+}
+
+TEST(Directory, DistinctPagesAreIndependent) {
+  DirectoryService dir;
+  dir.lookup(pg(1), 0, false);
+  auto r = dir.lookup(pg(2), 1, false);
+  EXPECT_FALSE(r.has_supplier);
+  EXPECT_EQ(dir.entries(), 2u);
+}
+
+}  // namespace
+}  // namespace dclue::cluster

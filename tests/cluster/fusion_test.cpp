@@ -1,0 +1,271 @@
+#include "cluster/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "storage/disk_array.hpp"
+
+namespace dclue::cluster {
+namespace {
+
+net::CpuCharge free_cpu() {
+  return [](sim::PathLength, cpu::JobClass) -> sim::Task<void> { co_return; };
+}
+
+/// Two fully-wired fusion nodes over a real fabric (no DBMS on top).
+struct Harness {
+  sim::Engine engine;
+  std::unique_ptr<net::Topology> topo;
+  struct NodeBits {
+    std::unique_ptr<net::TcpStack> stack;
+    core::NodeStats stats;
+    std::unique_ptr<db::BufferCache> cache;
+    std::unique_ptr<DirectoryService> directory;
+    std::unique_ptr<db::LockManager> locks;
+    std::unique_ptr<db::VersionManager> versions;
+    std::unique_ptr<storage::DiskArray> disk;
+    std::unique_ptr<IpcService> ipc;
+    std::unique_ptr<proto::IscsiTarget> target;
+    std::vector<std::unique_ptr<proto::IscsiInitiator>> initiators;
+    std::unique_ptr<FusionLayer> fusion;
+  };
+  std::array<NodeBits, 2> nodes;
+
+  Harness() {
+    net::TopologyParams tp;
+    tp.servers_per_lata = 2;
+    topo = std::make_unique<net::Topology>(engine, tp);
+    for (int i = 0; i < 2; ++i) {
+      auto& n = nodes[static_cast<std::size_t>(i)];
+      n.stack = std::make_unique<net::TcpStack>(engine, topo->server_nic(i),
+                                                net::TcpParams{},
+                                                net::TcpCostModel{}, free_cpu());
+      n.cache = std::make_unique<db::BufferCache>(64);
+      n.directory = std::make_unique<DirectoryService>();
+      n.locks = std::make_unique<db::LockManager>(engine);
+      n.versions = std::make_unique<db::VersionManager>(engine, sim::megabytes(1),
+                                                        *n.cache);
+      n.disk = std::make_unique<storage::DiskArray>(engine, "d", 4,
+                                                    storage::DiskParams{});
+      n.ipc = std::make_unique<IpcService>(engine, i, n.stats, 0.0, free_cpu());
+      n.target = std::make_unique<proto::IscsiTarget>(engine, *n.disk, free_cpu(),
+                                                      proto::IscsiCostModel{});
+      n.initiators.resize(2);
+      for (int j = 0; j < 2; ++j) {
+        n.initiators[static_cast<std::size_t>(j)] =
+            std::make_unique<proto::IscsiInitiator>(engine, free_cpu(),
+                                                    proto::IscsiCostModel{});
+      }
+      FusionDeps deps;
+      deps.engine = &engine;
+      deps.node_id = i;
+      deps.num_nodes = 2;
+      deps.ipc = n.ipc.get();
+      deps.cache = n.cache.get();
+      deps.directory = n.directory.get();
+      deps.locks = n.locks.get();
+      deps.versions = n.versions.get();
+      deps.data_disk = n.disk.get();
+      deps.iscsi = {n.initiators[0].get(), n.initiators[1].get()};
+      deps.charge = free_cpu();
+      deps.stats = &n.stats;
+      // Even pages home at 0, odd at 1 (deterministic for tests).
+      deps.dir_home_fn = [](db::PageId page) {
+        return static_cast<int>(db::page_number(page) % 2);
+      };
+      n.fusion = std::make_unique<FusionLayer>(std::move(deps));
+    }
+    // Wire IPC (one duplex channel) and iSCSI (both directions).
+    auto& ipc_listener = nodes[1].stack->listen(7000);
+    sim::spawn([](Harness& h, net::TcpListener& l) -> sim::Task<void> {
+      auto conn = co_await l.accept();
+      h.nodes[1].ipc->attach_peer(0, std::make_shared<proto::MsgChannel>(conn));
+    }(*this, ipc_listener));
+    auto conn = nodes[0].stack->connect(topo->server_nic(1).address(), 7000);
+    nodes[0].ipc->attach_peer(1, std::make_shared<proto::MsgChannel>(conn));
+    for (int tgt = 0; tgt < 2; ++tgt) {
+      const int ini = 1 - tgt;
+      auto& listener = nodes[static_cast<std::size_t>(tgt)].stack->listen(
+          static_cast<std::uint16_t>(9000 + ini));
+      sim::spawn([](Harness& h, net::TcpListener& l, int tgt) -> sim::Task<void> {
+        auto c = co_await l.accept();
+        h.nodes[static_cast<std::size_t>(tgt)].target->serve(
+            std::make_shared<proto::MsgChannel>(c));
+      }(*this, listener, tgt));
+      auto c2 = nodes[static_cast<std::size_t>(ini)].stack->connect(
+          topo->server_nic(tgt).address(), static_cast<std::uint16_t>(9000 + ini));
+      nodes[static_cast<std::size_t>(ini)]
+          .initiators[static_cast<std::size_t>(tgt)]
+          ->attach(std::make_shared<proto::MsgChannel>(c2));
+    }
+    engine.run_until(1.0);  // let the sessions establish
+  }
+
+  FusionLayer& fusion(int i) { return *nodes[static_cast<std::size_t>(i)].fusion; }
+  db::BufferCache& cache(int i) { return *nodes[static_cast<std::size_t>(i)].cache; }
+  core::NodeStats& stats(int i) { return nodes[static_cast<std::size_t>(i)].stats; }
+};
+
+db::PageId pg(std::uint64_t n) {
+  return db::make_page_id(db::TableId::kCustomer, false, n);
+}
+
+TEST(Fusion, ColdMissGoesToDiskAndCaches) {
+  Harness h;
+  bool done = false;
+  sim::spawn([](Harness& h, bool& ok) -> sim::Task<void> {
+    co_await h.fusion(0).access_page(pg(2), false, 0);  // dir home 0, local
+    ok = true;
+  }(h, done));
+  h.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(h.cache(0).contains(pg(2), db::PageMode::kShared));
+  EXPECT_EQ(h.stats(0).disk_reads.count(), 1u);
+  EXPECT_EQ(h.stats(0).remote_fetches.count(), 0u);
+}
+
+TEST(Fusion, SecondAccessIsAHit) {
+  Harness h;
+  sim::spawn([](Harness& h) -> sim::Task<void> {
+    co_await h.fusion(0).access_page(pg(2), false, 0);
+    co_await h.fusion(0).access_page(pg(2), false, 0);
+  }(h));
+  h.engine.run();
+  EXPECT_EQ(h.stats(0).buffer_hits.count(), 1u);
+  EXPECT_EQ(h.stats(0).buffer_misses.count(), 1u);
+}
+
+TEST(Fusion, RemoteCacheSuppliesBlockInsteadOfDisk) {
+  Harness h;
+  sim::spawn([](Harness& h) -> sim::Task<void> {
+    co_await h.fusion(0).access_page(pg(2), false, 0);  // node 0 caches it
+    co_await h.fusion(1).access_page(pg(2), false, 0);  // node 1 fetches from 0
+  }(h));
+  h.engine.run();
+  EXPECT_TRUE(h.cache(1).contains(pg(2), db::PageMode::kShared));
+  EXPECT_EQ(h.stats(1).remote_fetches.count(), 1u);
+  EXPECT_EQ(h.stats(1).disk_reads.count(), 0u);  // cache fusion's whole point
+  EXPECT_GT(h.stats(0).ipc_data_sent.count(), 0u);  // the 8KB+ block message
+}
+
+TEST(Fusion, ExclusiveAccessInvalidatesOtherHolders) {
+  Harness h;
+  sim::spawn([](Harness& h) -> sim::Task<void> {
+    co_await h.fusion(0).access_page(pg(2), false, 0);
+    co_await h.fusion(1).access_page(pg(2), false, 0);
+    // Node 1 upgrades to exclusive: node 0's copy must be invalidated.
+    co_await h.fusion(1).access_page(pg(2), true, 0);
+    co_await sim::delay_for(h.engine, 1.0);  // let the invalidation land
+  }(h));
+  h.engine.run();
+  EXPECT_TRUE(h.cache(1).contains(pg(2), db::PageMode::kExclusive));
+  EXPECT_FALSE(h.cache(0).resident(pg(2)));
+}
+
+TEST(Fusion, UpgradeOfResidentPageMovesNoData) {
+  Harness h;
+  sim::spawn([](Harness& h) -> sim::Task<void> {
+    co_await h.fusion(0).access_page(pg(2), false, 0);
+    co_await h.fusion(0).access_page(pg(2), true, 0);  // upgrade in place
+  }(h));
+  h.engine.run();
+  EXPECT_TRUE(h.cache(0).contains(pg(2), db::PageMode::kExclusive));
+  EXPECT_EQ(h.stats(0).remote_fetches.count(), 0u);
+  EXPECT_EQ(h.stats(0).disk_reads.count(), 1u);  // only the original fill
+}
+
+TEST(Fusion, AllocatedPageSkipsDisk) {
+  Harness h;
+  sim::spawn([](Harness& h) -> sim::Task<void> {
+    co_await h.fusion(0).access_page(pg(4), true, 0, /*allocate=*/true);
+  }(h));
+  h.engine.run();
+  EXPECT_TRUE(h.cache(0).contains(pg(4), db::PageMode::kExclusive));
+  EXPECT_EQ(h.stats(0).disk_reads.count(), 0u);
+}
+
+TEST(Fusion, RemoteDirectoryHomeIsConsulted) {
+  Harness h;
+  bool done = false;
+  sim::spawn([](Harness& h, bool& ok) -> sim::Task<void> {
+    // Page 3 homes at node 1; node 0 must RPC the directory there.
+    co_await h.fusion(0).access_page(pg(3), false, 0);
+    ok = true;
+  }(h, done));
+  h.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(h.stats(0).ipc_control_sent.count(), 0u);
+  EXPECT_EQ(h.nodes[1].directory->holder_count(pg(3)), 1);
+}
+
+TEST(Fusion, RemoteStorageHomeUsesIscsi) {
+  Harness h;
+  sim::spawn([](Harness& h) -> sim::Task<void> {
+    // Directory home 0 (even page), storage home 1: disk read over iSCSI.
+    co_await h.fusion(0).access_page(pg(2), false, /*storage_home=*/1);
+  }(h));
+  h.engine.run();
+  EXPECT_EQ(h.stats(0).iscsi_reads.count(), 1u);
+  EXPECT_GT(h.nodes[1].target->commands_served(), 0u);
+}
+
+TEST(Fusion, ConcurrentAccessesCoalesceIntoOneFetch) {
+  Harness h;
+  int completions = 0;
+  for (int k = 0; k < 5; ++k) {
+    sim::spawn([](Harness& h, int& done) -> sim::Task<void> {
+      co_await h.fusion(0).access_page(pg(2), false, 0);
+      ++done;
+    }(h, completions));
+  }
+  h.engine.run();
+  EXPECT_EQ(completions, 5);
+  EXPECT_EQ(h.stats(0).disk_reads.count(), 1u);  // one fill served everybody
+}
+
+TEST(Fusion, GlobalLocksRouteToHomeNode) {
+  Harness h;
+  bool granted_local = false, granted_remote = false, conflict = true;
+  sim::spawn([](Harness& h, bool& gl, bool& gr, bool& cf) -> sim::Task<void> {
+    const db::LockName odd = db::lock_name(pg(3), 0);   // home = node 1
+    const db::LockName even = db::lock_name(pg(2), 0);  // home = node 0
+    gl = co_await h.fusion(0).lock_try(even, 0, /*txn=*/1);
+    gr = co_await h.fusion(0).lock_try(odd, 1, /*txn=*/1);
+    cf = co_await h.fusion(1).lock_try(odd, 1, /*txn=*/2);  // conflicts
+    co_await h.fusion(0).lock_release(odd, 1, 1);
+    co_await h.fusion(0).lock_release(even, 0, 1);
+  }(h, granted_local, granted_remote, conflict));
+  h.engine.run();
+  EXPECT_TRUE(granted_local);
+  EXPECT_TRUE(granted_remote);
+  EXPECT_FALSE(conflict);
+  // After release, node 1 can take the lock.
+  bool after = false;
+  sim::spawn([](Harness& h, bool& ok) -> sim::Task<void> {
+    ok = co_await h.fusion(1).lock_try(db::lock_name(pg(3), 0), 1, 3);
+  }(h, after));
+  h.engine.run();
+  EXPECT_TRUE(after);
+}
+
+TEST(Fusion, RemoteLockWaitBlocksUntilRelease) {
+  Harness h;
+  const db::LockName name = db::lock_name(pg(3), 0);  // home = node 1
+  sim::Time granted_at = -1.0;
+  sim::spawn([](Harness& h, db::LockName name, sim::Time& t) -> sim::Task<void> {
+    co_await h.fusion(1).lock_try(name, 1, 1);  // holder (local at node 1)
+    co_await sim::delay_for(h.engine, 5.0);
+    co_await h.fusion(1).lock_release(name, 1, 1);
+  }(h, name, granted_at));
+  sim::spawn([](Harness& h, db::LockName name, sim::Time& t) -> sim::Task<void> {
+    co_await sim::delay_for(h.engine, 2.0);
+    const bool ok = co_await h.fusion(0).lock_wait(name, 1, 2);  // remote wait
+    if (ok) t = h.engine.now();
+  }(h, name, granted_at));
+  h.engine.run();
+  // Harness setup ran to t=1.0; holder releases at ~6.0, waiter granted then.
+  EXPECT_GT(granted_at, 5.9);
+}
+
+}  // namespace
+}  // namespace dclue::cluster

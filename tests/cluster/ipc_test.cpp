@@ -1,0 +1,145 @@
+#include "cluster/ipc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace dclue::cluster {
+namespace {
+
+net::CpuCharge free_cpu() {
+  return [](sim::PathLength, cpu::JobClass) -> sim::Task<void> { co_return; };
+}
+
+/// Two IPC services connected over a real fabric.
+struct Harness {
+  sim::Engine engine;
+  std::unique_ptr<net::Topology> topo;
+  std::unique_ptr<net::TcpStack> stack_a;
+  std::unique_ptr<net::TcpStack> stack_b;
+  core::NodeStats stats_a, stats_b;
+  std::unique_ptr<IpcService> a;
+  std::unique_ptr<IpcService> b;
+
+  Harness() {
+    net::TopologyParams tp;
+    tp.servers_per_lata = 2;
+    topo = std::make_unique<net::Topology>(engine, tp);
+    stack_a = std::make_unique<net::TcpStack>(engine, topo->server_nic(0),
+                                              net::TcpParams{}, net::TcpCostModel{},
+                                              free_cpu());
+    stack_b = std::make_unique<net::TcpStack>(engine, topo->server_nic(1),
+                                              net::TcpParams{}, net::TcpCostModel{},
+                                              free_cpu());
+    a = std::make_unique<IpcService>(engine, 0, stats_a, 0.0, free_cpu());
+    b = std::make_unique<IpcService>(engine, 1, stats_b, 0.0, free_cpu());
+    auto& listener = stack_b->listen(7000);
+    sim::spawn([](Harness& h, net::TcpListener& l) -> sim::Task<void> {
+      auto conn = co_await l.accept();
+      h.b->attach_peer(0, std::make_shared<proto::MsgChannel>(conn));
+    }(*this, listener));
+    auto conn = stack_a->connect(topo->server_nic(1).address(), 7000);
+    a->attach_peer(1, std::make_shared<proto::MsgChannel>(conn));
+  }
+};
+
+struct EchoBody {
+  int value;
+};
+
+TEST(IpcService, ControlRpcRoundTrip) {
+  Harness h;
+  h.b->set_handler(kDirRequest, [&h](Envelope env) {
+    auto body = std::static_pointer_cast<EchoBody>(env.body);
+    auto reply = std::make_shared<EchoBody>(EchoBody{body->value * 2});
+    h.b->send_control(env.src_node, kDirReply, reply, env.req_id);
+  });
+  int result = 0;
+  sim::spawn([](Harness& h, int& out) -> sim::Task<void> {
+    auto body = std::make_shared<EchoBody>(EchoBody{21});
+    auto reply = co_await h.a->rpc(1, kDirRequest, body);
+    out = std::static_pointer_cast<EchoBody>(reply)->value;
+  }(h, result));
+  h.engine.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(h.stats_a.ipc_control_sent.count(), 1u);
+  EXPECT_EQ(h.stats_b.ipc_control_sent.count(), 1u);
+}
+
+TEST(IpcService, OnewayControlDelivered) {
+  Harness h;
+  int got = 0;
+  h.b->set_handler(kDirEvict, [&got](Envelope env) {
+    got = std::static_pointer_cast<EchoBody>(env.body)->value;
+  });
+  auto body = std::make_shared<EchoBody>(EchoBody{7});
+  h.a->send_control(1, kDirEvict, body);
+  h.engine.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(IpcService, DataMessageCountsSeparately) {
+  Harness h;
+  h.b->set_handler(kDirEvict, [](Envelope) {});
+  auto body = std::make_shared<EchoBody>(EchoBody{1});
+  h.a->send_data(1, kBlockTransfer, kBlockBaseBytes + 1024, body, 99);
+  h.engine.run();
+  EXPECT_EQ(h.stats_a.ipc_data_sent.count(), 1u);
+  EXPECT_EQ(h.stats_a.ipc_control_sent.count(), 0u);
+  EXPECT_GE(h.stats_a.ipc_data_bytes, kBlockBaseBytes);
+}
+
+TEST(IpcService, EarlyReplyBeforeAwaitIsNotLost) {
+  // 3-way exchanges can deliver the correlated reply before the requester
+  // starts waiting for it.
+  Harness h;
+  const std::uint64_t req = h.a->new_req_id();
+  h.b->set_handler(kDirEvict, [&h, req](Envelope) {
+    auto body = std::make_shared<EchoBody>(EchoBody{5});
+    h.b->send_data(0, kBlockTransfer, kBlockBaseBytes, body, req);
+  });
+  int got = 0;
+  sim::spawn([](Harness& h, std::uint64_t req, int& out) -> sim::Task<void> {
+    auto trigger = std::make_shared<EchoBody>(EchoBody{0});
+    h.a->send_control(1, kDirEvict, trigger);
+    // Wait long enough that the reply has certainly arrived already.
+    co_await sim::delay_for(h.engine, 1.0);
+    auto reply = co_await h.a->await_reply(req);
+    out = std::static_pointer_cast<EchoBody>(reply)->value;
+  }(h, req, got));
+  h.engine.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(IpcService, ControlDelayIsMeasuredAtReceiver) {
+  Harness h;
+  h.b->set_handler(kDirEvict, [](Envelope) {});
+  auto body = std::make_shared<EchoBody>(EchoBody{1});
+  h.a->send_control(1, kDirEvict, body);
+  h.engine.run();
+  EXPECT_EQ(h.stats_b.control_msg_delay.count(), 1u);
+  EXPECT_GT(h.stats_b.control_msg_delay.mean(), 0.0);
+}
+
+TEST(IpcService, ConcurrentRpcsCorrelateIndependently) {
+  Harness h;
+  h.b->set_handler(kDirRequest, [&h](Envelope env) {
+    auto body = std::static_pointer_cast<EchoBody>(env.body);
+    auto reply = std::make_shared<EchoBody>(EchoBody{body->value + 100});
+    h.b->send_control(env.src_node, kDirReply, reply, env.req_id);
+  });
+  std::vector<int> results(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    sim::spawn([](Harness& h, std::vector<int>& out, int i) -> sim::Task<void> {
+      auto body = std::make_shared<EchoBody>(EchoBody{i});
+      auto reply = co_await h.a->rpc(1, kDirRequest, body);
+      out[static_cast<std::size_t>(i)] =
+          std::static_pointer_cast<EchoBody>(reply)->value;
+    }(h, results, i));
+  }
+  h.engine.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], 100 + i);
+}
+
+}  // namespace
+}  // namespace dclue::cluster

@@ -1,0 +1,125 @@
+#include "cluster/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dclue::cluster {
+namespace {
+
+struct Fixture {
+  db::TpccScale scale;
+  std::unique_ptr<db::TpccDatabase> db;
+  explicit Fixture(std::int64_t warehouses = 80) {
+    scale.warehouses = warehouses;
+    scale.customers_per_district = 60;
+    scale.items = 200;
+    db = std::make_unique<db::TpccDatabase>(scale);
+    sim::Rng rng(1);
+    db->populate(rng);
+  }
+};
+
+TEST(PartitionMap, WarehousesSplitIntoEqualBlocks) {
+  Fixture f(80);
+  PartitionMap pm(*f.db, 4);
+  EXPECT_EQ(pm.owner_of_warehouse(1), 0);
+  EXPECT_EQ(pm.owner_of_warehouse(20), 0);
+  EXPECT_EQ(pm.owner_of_warehouse(21), 1);
+  EXPECT_EQ(pm.owner_of_warehouse(40), 1);
+  EXPECT_EQ(pm.owner_of_warehouse(80), 3);
+  // Out-of-range warehouses clamp rather than crash.
+  EXPECT_EQ(pm.owner_of_warehouse(0), 0);
+  EXPECT_EQ(pm.owner_of_warehouse(999), 3);
+}
+
+TEST(PartitionMap, SingleNodeOwnsEverything) {
+  Fixture f;
+  PartitionMap pm(*f.db, 1);
+  EXPECT_EQ(pm.home_of_page(f.db->district.data_page_of_key(db::key_wd(77, 3))), 0);
+}
+
+/// Property: for every warehouse-keyed table, the page home of any row's
+/// page equals the owner of the row's warehouse — this is what makes an
+/// affinity-1.0 workload IPC-free.
+TEST(PartitionMap, DataPageHomesMatchWarehouseOwner) {
+  Fixture f(80);
+  PartitionMap pm(*f.db, 4);
+  for (std::int64_t w : {1, 19, 20, 21, 41, 60, 61, 80}) {
+    const int owner = pm.owner_of_warehouse(w);
+    EXPECT_EQ(pm.home_of_page(f.db->warehouse.data_page_of_key(db::key_w(w))),
+              owner)
+        << "warehouse w=" << w;
+    for (std::int64_t d : {1, 5, 10}) {
+      EXPECT_EQ(pm.home_of_page(f.db->district.data_page_of_key(db::key_wd(w, d))),
+                owner)
+          << "district w=" << w << " d=" << d;
+      EXPECT_EQ(pm.home_of_page(
+                    f.db->customer.data_page_of_key(db::key_wdc(w, d, 37))),
+                owner)
+          << "customer w=" << w;
+      EXPECT_EQ(pm.home_of_page(
+                    f.db->order.data_page_of_key(db::key_wdo(w, d, 12345))),
+                owner)
+          << "order w=" << w;
+      EXPECT_EQ(pm.home_of_page(f.db->order_line.data_page_of_key(
+                    db::key_wdool(w, d, 12345, 7))),
+                owner)
+          << "order_line w=" << w;
+      EXPECT_EQ(pm.home_of_page(
+                    f.db->new_order.data_page_of_key(db::key_wdo(w, d, 12345))),
+                owner)
+          << "new_order w=" << w;
+    }
+    EXPECT_EQ(pm.home_of_page(f.db->stock.data_page_of_key(db::key_wi(w, 155))),
+              owner)
+        << "stock w=" << w;
+    EXPECT_EQ(pm.home_of_page(
+                  f.db->history.data_page_of_key(db::key_history(w, 999999))),
+              owner)
+        << "history w=" << w;
+  }
+}
+
+TEST(PartitionMap, IndexLeafHomesMatchWarehouseOwner) {
+  Fixture f(80);
+  PartitionMap pm(*f.db, 4);
+  for (std::int64_t w : {1, 21, 55, 80}) {
+    const int owner = pm.owner_of_warehouse(w);
+    EXPECT_EQ(pm.home_of_page(f.db->stock.index_page_of(db::key_wi(w, 500))),
+              owner);
+    EXPECT_EQ(pm.home_of_page(
+                  f.db->order.index_page_of(db::key_wdo(w, 4, 1'000'000))),
+              owner);
+  }
+}
+
+TEST(PartitionMap, ItemPagesSpreadAcrossNodes) {
+  Fixture f(80);
+  PartitionMap pm(*f.db, 4);
+  std::array<int, 4> seen{};
+  for (std::int64_t i = 1; i <= 200; i += 10) {
+    int home = pm.home_of_page(f.db->item.data_page_of(
+        *f.db->item.find_id(db::key_i(i))));
+    ASSERT_GE(home, 0);
+    ASSERT_LT(home, 4);
+    ++seen[static_cast<std::size_t>(home)];
+  }
+  int covered = 0;
+  for (int c : seen) covered += c > 0 ? 1 : 0;
+  EXPECT_GE(covered, 2);  // hashing spreads item pages around
+}
+
+TEST(PartitionMap, PageNumbersSurviveWideKeys) {
+  // The largest composite keys (order-line of the last warehouse) must not
+  // overflow the page-number field or collide across warehouses.
+  Fixture f(80);
+  const db::PageId a = f.db->order_line.data_page_of_key(db::key_wdool(20, 10, 1, 1));
+  const db::PageId b = f.db->order_line.data_page_of_key(db::key_wdool(21, 10, 1, 1));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(db::table_of_page(a), db::TableId::kOrderLine);
+  PartitionMap pm(*f.db, 4);
+  // w=20 and w=21 sit on opposite sides of a partition boundary.
+  EXPECT_NE(pm.home_of_page(a), pm.home_of_page(b));
+}
+
+}  // namespace
+}  // namespace dclue::cluster

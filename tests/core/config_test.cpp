@@ -1,0 +1,77 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dclue::core {
+namespace {
+
+TEST(ClusterConfig, LataLayoutFollowsRouterPortLimit) {
+  ClusterConfig cfg;
+  cfg.nodes = 12;
+  EXPECT_EQ(cfg.latas(), 1);
+  EXPECT_EQ(cfg.servers_per_lata(), 12);
+  cfg.nodes = 13;
+  EXPECT_EQ(cfg.latas(), 2);  // the paper: beyond 12 nodes -> 2 LATAs
+  EXPECT_EQ(cfg.servers_per_lata(), 7);
+  cfg.nodes = 24;
+  EXPECT_EQ(cfg.latas(), 2);
+  EXPECT_EQ(cfg.servers_per_lata(), 12);
+  cfg.max_servers_per_lata = 4;
+  cfg.nodes = 8;
+  EXPECT_EQ(cfg.latas(), 2);
+  EXPECT_EQ(cfg.servers_per_lata(), 4);
+}
+
+TEST(ClusterConfig, WarehousesScaleWithThroughputTarget) {
+  ClusterConfig cfg;
+  cfg.tpmc_per_node = 38'000.0;
+  cfg.nodes = 1;
+  // TPC-C rule: tpm-C / 12.5, then / scale.
+  EXPECT_EQ(cfg.warehouses(), static_cast<std::int64_t>(38'000.0 / 12.5 / 100.0));
+  cfg.nodes = 4;
+  EXPECT_EQ(cfg.warehouses(), static_cast<std::int64_t>(4 * 38'000.0 / 12.5 / 100.0));
+}
+
+TEST(ClusterConfig, SqrtGrowthBendsAboveTheKnee) {
+  ClusterConfig linear;
+  linear.nodes = 8;
+  ClusterConfig sqrt_cfg = linear;
+  sqrt_cfg.growth = DbGrowth::kSqrtBeyond90k;
+  // Above 90K tpm-C target, sqrt growth yields fewer warehouses.
+  EXPECT_LT(sqrt_cfg.warehouses(), linear.warehouses());
+  // Below the knee, identical.
+  ClusterConfig small_l;
+  small_l.nodes = 2;
+  ClusterConfig small_s = small_l;
+  small_s.growth = DbGrowth::kSqrtBeyond90k;
+  EXPECT_EQ(small_s.warehouses(), small_l.warehouses());
+}
+
+TEST(ClusterConfig, OverrideWinsOverGrowthRule) {
+  ClusterConfig cfg;
+  cfg.warehouses_override = 7;
+  EXPECT_EQ(cfg.warehouses(), 7);
+}
+
+TEST(ClusterConfig, AtLeastOneWarehousePerNode) {
+  ClusterConfig cfg;
+  cfg.nodes = 24;
+  cfg.tpmc_per_node = 100.0;  // absurdly small target
+  EXPECT_GE(cfg.warehouses(), 24);
+}
+
+TEST(PathLengths, ComputationFactorSparesProtocolCosts) {
+  PathLengths base;
+  PathLengths low = base.with_computation_factor(0.25);
+  EXPECT_DOUBLE_EQ(low.row_read, base.row_read * 0.25);
+  EXPECT_DOUBLE_EQ(low.txn_commit, base.txn_commit * 0.25);
+  EXPECT_DOUBLE_EQ(low.client_request, base.client_request * 0.25);
+  // Protocol handling and IO paths are not "computation" (the paper only
+  // reduces computational path lengths).
+  EXPECT_DOUBLE_EQ(low.ipc_handler, base.ipc_handler);
+  EXPECT_DOUBLE_EQ(low.local_io, base.local_io);
+  EXPECT_DOUBLE_EQ(low.lock_op, base.lock_op);
+}
+
+}  // namespace
+}  // namespace dclue::core

@@ -1,0 +1,95 @@
+#include "cpu/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dclue::cpu {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  PlatformParams params;
+  MemorySystem mem{engine, params};
+};
+
+TEST(MemorySystem, BaselineCpiIsModest) {
+  Fixture f;
+  f.mem.set_busy_cores(2);
+  f.mem.set_active_threads(10);
+  double cpi = f.mem.effective_cpi(JobClass::kApplication);
+  EXPECT_GT(cpi, f.params.base_cpi[0]);
+  EXPECT_LT(cpi, 15.0);
+}
+
+TEST(MemorySystem, CpiRisesWithThreadPressure) {
+  Fixture f;
+  f.mem.set_busy_cores(2);
+  f.mem.set_active_threads(10);
+  double low = f.mem.effective_cpi(JobClass::kApplication);
+  f.mem.set_active_threads(75);
+  double high = f.mem.effective_cpi(JobClass::kApplication);
+  EXPECT_GT(high, low * 1.2);
+}
+
+TEST(MemorySystem, KernelWorkHasHigherCpiThanApplication) {
+  Fixture f;
+  f.mem.set_busy_cores(2);
+  f.mem.set_active_threads(20);
+  EXPECT_GT(f.mem.effective_cpi(JobClass::kKernel),
+            f.mem.effective_cpi(JobClass::kApplication));
+  EXPECT_GT(f.mem.effective_cpi(JobClass::kInterrupt),
+            f.mem.effective_cpi(JobClass::kKernel));
+}
+
+TEST(MemorySystem, EvictionFractionMatchesWorkingSetModel) {
+  Fixture f;
+  // 32KB working set, 1MB cache: 20 threads fit (640KB), no eviction.
+  EXPECT_DOUBLE_EQ(f.mem.eviction_fraction(20), 0.0);
+  // 75 threads: 2400KB footprint, (2400-1024)/2400 evicted.
+  EXPECT_NEAR(f.mem.eviction_fraction(75), (75.0 * 32 - 1024) / (75.0 * 32), 1e-9);
+  EXPECT_LT(f.mem.eviction_fraction(75), 1.0);
+}
+
+TEST(MemorySystem, ContextSwitchCostMatchesPaperAnchors) {
+  Fixture f;
+  f.mem.set_busy_cores(2);
+  // ~20 active threads: the paper reports 17.7K cycles per switch.
+  f.mem.set_active_threads(20);
+  EXPECT_NEAR(f.mem.context_switch_cycles(), 17'700, 2'000);
+  // ~75 active threads: the paper reports 69.7K cycles per switch.
+  f.mem.set_active_threads(75);
+  double c = f.mem.context_switch_cycles();
+  EXPECT_NEAR(c, 69'700, 20'000);
+  EXPECT_GT(c, 40'000);
+}
+
+TEST(MemorySystem, ClassMixShiftsBlendedCpi) {
+  Fixture f;
+  f.mem.set_busy_cores(2);
+  f.mem.set_active_threads(20);
+  f.mem.note_instructions(JobClass::kApplication, 1e6);
+  double app_heavy = f.mem.effective_cpi(JobClass::kApplication);
+  f.mem.note_instructions(JobClass::kInterrupt, 9e6);
+  double intr_heavy = f.mem.effective_cpi(JobClass::kApplication);
+  // Interrupt-heavy mix raises memory pressure and therefore everyone's CPI.
+  EXPECT_GE(intr_heavy, app_heavy);
+}
+
+TEST(MemorySystem, LoadedLatencyExceedsUnloaded) {
+  Fixture f;
+  f.mem.set_busy_cores(2);
+  f.mem.set_active_threads(60);
+  f.mem.effective_cpi(JobClass::kApplication);
+  EXPECT_GT(f.mem.loaded_memory_latency_s(), f.params.dram_base_s);
+}
+
+TEST(MemorySystem, UtilizationIsBounded) {
+  Fixture f;
+  f.mem.set_busy_cores(2);
+  f.mem.set_active_threads(200);
+  f.mem.effective_cpi(JobClass::kApplication);
+  EXPECT_LE(f.mem.data_bus_utilization(), 1.0);
+  EXPECT_GT(f.mem.data_bus_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace dclue::cpu

@@ -1,0 +1,168 @@
+#include "db/btree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+namespace dclue::db {
+namespace {
+
+TEST(BTree, EmptyTree) {
+  BTree<std::uint64_t, int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.find(42).has_value());
+  EXPECT_FALSE(t.begin().valid());
+}
+
+TEST(BTree, InsertAndFind) {
+  BTree<std::uint64_t, int> t;
+  t.insert(5, 50);
+  t.insert(1, 10);
+  t.insert(9, 90);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(*t.find(5), 50);
+  EXPECT_EQ(*t.find(1), 10);
+  EXPECT_EQ(*t.find(9), 90);
+  EXPECT_FALSE(t.find(7).has_value());
+}
+
+TEST(BTree, OverwriteKeepsSize) {
+  BTree<std::uint64_t, int> t;
+  t.insert(5, 50);
+  t.insert(5, 55);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.find(5), 55);
+}
+
+TEST(BTree, ManySequentialInsertionsSplitCorrectly) {
+  BTree<std::uint64_t, int> t;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) t.insert(static_cast<std::uint64_t>(i), i * 2);
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(*t.find(static_cast<std::uint64_t>(i)), i * 2) << i;
+  }
+  EXPECT_GT(t.height(), 1);
+}
+
+TEST(BTree, RandomInsertionsMatchReferenceMap) {
+  BTree<std::uint64_t, int> t;
+  std::map<std::uint64_t, int> ref;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20'000; ++i) {
+    std::uint64_t k = rng() % 50'000;
+    t.insert(k, i);
+    ref[k] = i;
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_EQ(*t.find(k), v) << k;
+  }
+}
+
+TEST(BTree, OrderedIterationFromBegin) {
+  BTree<std::uint64_t, int> t;
+  std::mt19937_64 rng(3);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 5'000; ++i) {
+    std::uint64_t k = rng();
+    keys.push_back(k);
+    t.insert(k, 0);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::size_t idx = 0;
+  for (auto it = t.begin(); it.valid(); it.next()) {
+    ASSERT_LT(idx, keys.size());
+    ASSERT_EQ(it.key(), keys[idx]);
+    ++idx;
+  }
+  EXPECT_EQ(idx, keys.size());
+}
+
+TEST(BTree, LowerBoundFindsFirstNotLess) {
+  BTree<std::uint64_t, int> t;
+  for (std::uint64_t k = 0; k < 1000; k += 10) t.insert(k, static_cast<int>(k));
+  auto it = t.lower_bound(95);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 100u);
+  it = t.lower_bound(100);
+  EXPECT_EQ(it.key(), 100u);
+  it = t.lower_bound(991);
+  EXPECT_FALSE(it.valid());
+}
+
+TEST(BTree, EraseRemovesAndIterationStaysSorted) {
+  BTree<std::uint64_t, int> t;
+  for (std::uint64_t k = 0; k < 2000; ++k) t.insert(k, 1);
+  for (std::uint64_t k = 0; k < 2000; k += 2) EXPECT_TRUE(t.erase(k));
+  EXPECT_FALSE(t.erase(0));  // already gone
+  EXPECT_EQ(t.size(), 1000u);
+  std::uint64_t expect = 1;
+  for (auto it = t.begin(); it.valid(); it.next()) {
+    ASSERT_EQ(it.key(), expect);
+    expect += 2;
+  }
+}
+
+TEST(BTree, EraseThenReinsert) {
+  BTree<std::uint64_t, int> t;
+  for (std::uint64_t k = 0; k < 500; ++k) t.insert(k, 1);
+  for (std::uint64_t k = 0; k < 500; ++k) t.erase(k);
+  EXPECT_EQ(t.size(), 0u);
+  for (std::uint64_t k = 0; k < 500; ++k) t.insert(k, 2);
+  EXPECT_EQ(t.size(), 500u);
+  EXPECT_EQ(*t.find(250), 2);
+}
+
+TEST(BTree, HeightGrowsLogarithmically) {
+  BTree<std::uint64_t, int, 8> t;  // small fanout to force depth
+  for (std::uint64_t k = 0; k < 4096; ++k) t.insert(k, 0);
+  EXPECT_GE(t.height(), 4);
+  EXPECT_LE(t.height(), 8);
+}
+
+TEST(BTree, LeafCountConsistentWithSize) {
+  BTree<std::uint64_t, int> t;
+  for (std::uint64_t k = 0; k < 10'000; ++k) t.insert(k, 0);
+  std::size_t leaves = t.leaf_count();
+  EXPECT_GE(leaves, 10'000u / 64);
+  EXPECT_LE(leaves, 10'000u / 16);
+}
+
+/// Property sweep: random interleavings of insert/erase stay consistent with
+/// a reference map.
+class BTreeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeFuzz, MatchesReferenceUnderMixedWorkload) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  BTree<std::uint64_t, int, 8> t;
+  std::map<std::uint64_t, int> ref;
+  for (int i = 0; i < 5'000; ++i) {
+    std::uint64_t k = rng() % 600;
+    if (rng() % 3 == 0) {
+      EXPECT_EQ(t.erase(k), ref.erase(k) > 0);
+    } else {
+      t.insert(k, i);
+      ref[k] = i;
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  auto it = t.begin();
+  for (const auto& [k, v] : ref) {
+    ASSERT_TRUE(it.valid());
+    ASSERT_EQ(it.key(), k);
+    ASSERT_EQ(it.value(), v);
+    it.next();
+  }
+  EXPECT_FALSE(it.valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzz, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace dclue::db

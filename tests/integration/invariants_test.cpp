@@ -1,0 +1,135 @@
+/// End-to-end database invariants: after a real clustered run, the TPC-C
+/// tables must reflect exactly the transactions that committed — the point
+/// of executing *real* queries instead of sampling cost distributions.
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace dclue::core {
+namespace {
+
+ClusterConfig tiny(int nodes) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.affinity = 0.8;
+  cfg.warehouses_override = 4 * nodes;
+  cfg.customers_per_district = 60;
+  cfg.items = 200;
+  cfg.terminals_per_node = 12;
+  cfg.warmup = 2.0;
+  cfg.measure = 12.0;
+  cfg.seed = 99;
+  return cfg;
+}
+
+/// One shared run for all invariant checks (Cluster is neither copyable nor
+/// movable, so it is built in place).
+struct RunOnce {
+  Cluster cluster;
+  RunReport report;
+  RunOnce() : cluster(tiny(2)) { report = cluster.run(); }
+};
+
+RunOnce& shared_run() {
+  static RunOnce run;
+  return run;
+}
+
+TEST(DatabaseInvariants, PaymentsAccumulateInWarehouseYtd) {
+  auto& run = shared_run();
+  ASSERT_GT(run.report.txns, 50.0);
+  auto& db = run.cluster.database();
+  double total_ytd = 0.0;
+  for (std::int64_t w = 1; w <= db.scale().warehouses; ++w) {
+    total_ytd += db.warehouse.find(db::key_w(w))->ytd;
+  }
+  // Initial 300000 per warehouse; committed payments add on top.
+  EXPECT_GT(total_ytd, 300'000.0 * static_cast<double>(db.scale().warehouses));
+}
+
+TEST(DatabaseInvariants, DistrictOrderCountersMatchOrderRows) {
+  auto& run = shared_run();
+  auto& db = run.cluster.database();
+  // For every district, orders with id < next_o_id must exist (no holes at
+  // the tail beyond the allocation counter).
+  for (std::int64_t w = 1; w <= db.scale().warehouses; ++w) {
+    for (std::int64_t d = 1; d <= db.scale().districts_per_warehouse; ++d) {
+      const auto* dist = db.district.find(db::key_wd(w, d));
+      ASSERT_NE(dist, nullptr);
+      const std::int64_t last = dist->next_o_id - 1;
+      if (last > db.scale().initial_orders_per_district) {
+        EXPECT_NE(db.order.find(db::key_wdo(w, d, last)), nullptr)
+            << "w=" << w << " d=" << d << " o=" << last;
+      }
+    }
+  }
+}
+
+TEST(DatabaseInvariants, OrderLinesMatchTheirOrderHeader) {
+  auto& run = shared_run();
+  auto& db = run.cluster.database();
+  int checked = 0;
+  for (std::int64_t w = 1; w <= db.scale().warehouses && checked < 50; ++w) {
+    for (std::int64_t d = 1; d <= 10 && checked < 50; ++d) {
+      const auto* dist = db.district.find(db::key_wd(w, d));
+      for (std::int64_t o = db.scale().initial_orders_per_district + 1;
+           o < dist->next_o_id && checked < 50; ++o) {
+        const auto* order = db.order.find(db::key_wdo(w, d, o));
+        if (!order) continue;  // allocation raced an abort
+        for (int ol = 1; ol <= order->ol_cnt; ++ol) {
+          ASSERT_NE(db.order_line.find(db::key_wdool(w, d, o, ol)), nullptr)
+              << "w=" << w << " d=" << d << " o=" << o << " ol=" << ol;
+        }
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(DatabaseInvariants, DeliveredOrdersLeaveTheNewOrderTable) {
+  auto& run = shared_run();
+  auto& db = run.cluster.database();
+  // Every order with a carrier assigned must no longer be in new_order.
+  int delivered = 0;
+  for (auto it = db.order.lower_bound(0); it.valid(); it.next()) {
+    const auto& row = db.order.row(it.value());
+    if (row.carrier_id == 5) {  // delivery transaction's marker
+      EXPECT_EQ(db.new_order.find(it.key()), nullptr);
+      ++delivered;
+    }
+  }
+  EXPECT_GT(delivered, 0) << "no delivery transaction committed in the run";
+}
+
+TEST(DatabaseInvariants, StockNeverGoesNegative) {
+  auto& run = shared_run();
+  auto& db = run.cluster.database();
+  for (auto it = db.stock.lower_bound(0); it.valid(); it.next()) {
+    EXPECT_GE(db.stock.row(it.value()).quantity, 0);
+  }
+}
+
+TEST(DatabaseInvariants, CustomerPaymentCountsOnlyGrow) {
+  auto& run = shared_run();
+  auto& db = run.cluster.database();
+  std::int64_t total_payments = 0;
+  for (auto it = db.customer.lower_bound(0); it.valid(); it.next()) {
+    const auto& c = db.customer.row(it.value());
+    EXPECT_GE(c.payment_cnt, 1);  // initialized to 1 by population
+    total_payments += c.payment_cnt;
+  }
+  const auto customers = static_cast<std::int64_t>(db.customer.size());
+  EXPECT_GT(total_payments, customers);  // some payments committed
+}
+
+TEST(DatabaseInvariants, HistoryGrowsWithPayments) {
+  auto& run = shared_run();
+  auto& db = run.cluster.database();
+  EXPECT_GT(db.history.size(), 0u);
+  EXPECT_EQ(db.history.size(), db.next_history_id);
+}
+
+}  // namespace
+}  // namespace dclue::core

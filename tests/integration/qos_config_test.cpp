@@ -1,0 +1,72 @@
+/// End-to-end checks of the fabric QoS configuration space (the §4 future
+/// work machinery): WFQ scheduling, WRED, and AF-class policing wired all
+/// the way through ClusterConfig into a running cluster.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace dclue::core {
+namespace {
+
+ClusterConfig tiny_qos() {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.affinity = 0.8;
+  cfg.warehouses_override = 8;
+  cfg.customers_per_district = 60;
+  cfg.items = 200;
+  cfg.terminals_per_node = 12;
+  cfg.warmup = 2.0;
+  cfg.measure = 10.0;
+  cfg.seed = 5;
+  cfg.ftp.offered_load_mbps = 80.0;
+  cfg.ftp.high_priority = true;
+  return cfg;
+}
+
+TEST(QosConfig, WfqClusterRunsAndCarriesBothTraffics) {
+  ClusterConfig cfg = tiny_qos();
+  cfg.qos.scheduler = net::QueueScheduler::kWfq;
+  RunReport r = run_experiment(cfg);
+  EXPECT_GT(r.txns, 0.0);
+  EXPECT_GT(r.ftp_carried_mbps, 10.0);
+}
+
+TEST(QosConfig, PolicingCapsTheFtpClass) {
+  ClusterConfig cfg = tiny_qos();
+  cfg.ftp.offered_load_mbps = 200.0;
+  cfg.qos.af_police_mbps = 50.0;
+  RunReport r = run_experiment(cfg);
+  EXPECT_GT(r.txns, 0.0);
+  // Carried FTP is bounded by the policer (allow burst slack).
+  EXPECT_LT(r.ftp_carried_mbps, 90.0);
+  ClusterConfig open = tiny_qos();
+  open.ftp.offered_load_mbps = 200.0;
+  RunReport r2 = run_experiment(open);
+  EXPECT_GT(r2.ftp_carried_mbps, r.ftp_carried_mbps);
+}
+
+TEST(QosConfig, WredClusterRunsCleanly) {
+  ClusterConfig cfg = tiny_qos();
+  cfg.qos.wred = true;
+  cfg.ecn_marking = true;
+  RunReport r = run_experiment(cfg);
+  EXPECT_GT(r.txns, 0.0);
+}
+
+TEST(QosConfig, EcnMarkingTogglesDefaultTailDrop) {
+  // Both modes must complete; with marking on, senders throttle before
+  // queues overflow, so drops never exceed the tail-drop run's.
+  ClusterConfig td = tiny_qos();
+  RunReport r_td = run_experiment(td);
+  ClusterConfig ecn = tiny_qos();
+  ecn.ecn_marking = true;
+  RunReport r_ecn = run_experiment(ecn);
+  EXPECT_GT(r_td.txns, 0.0);
+  EXPECT_GT(r_ecn.txns, 0.0);
+  EXPECT_LE(r_ecn.fabric_drops, r_td.fabric_drops + 5);
+}
+
+}  // namespace
+}  // namespace dclue::core

@@ -1,0 +1,96 @@
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dclue::core {
+namespace {
+
+ClusterConfig tiny(int nodes, bool central) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.affinity = 0.8;
+  cfg.central_logging = central;
+  cfg.warehouses_override = 4 * nodes;
+  cfg.customers_per_district = 60;
+  cfg.items = 200;
+  cfg.terminals_per_node = 12;
+  cfg.warmup = 2.0;
+  cfg.measure = 10.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+RecoveryReport recover(Cluster& cluster, int failed) {
+  RecoveryReport rec;
+  bool done = false;
+  sim::spawn([](Cluster& c, int failed, RecoveryReport& out,
+                bool& done) -> sim::Task<void> {
+    out = co_await run_recovery(c, failed);
+    done = true;
+  }(cluster, failed, rec, done));
+  for (int step = 0; step < 100 && !done; ++step) {
+    cluster.engine().run_until(cluster.engine().now() + 25.0);
+  }
+  EXPECT_TRUE(done);
+  return rec;
+}
+
+TEST(Recovery, CheckpointsRunAndBoundRedoLog) {
+  ClusterConfig cfg = tiny(2, false);
+  Cluster cluster(cfg);
+  CheckpointManager ckpt(cluster, 3.0);
+  ckpt.start();
+  RunReport r = cluster.run();
+  ASSERT_GT(r.txns, 0.0);
+  EXPECT_GE(ckpt.checkpoints_taken(), 2u);
+  for (int i = 0; i < cfg.nodes; ++i) {
+    auto& log = cluster.node(i).log_manager();
+    EXPECT_LT(log.bytes_since_checkpoint(), log.bytes_logged());
+  }
+}
+
+TEST(Recovery, LocalLoggingRecoveryHasAllPhases) {
+  ClusterConfig cfg = tiny(3, false);
+  Cluster cluster(cfg);
+  RunReport r = cluster.run();
+  ASSERT_GT(r.txns, 0.0);
+  RecoveryReport rec = recover(cluster, 1);
+  EXPECT_GT(rec.log_bytes, 0);
+  EXPECT_GT(rec.records, 0u);
+  EXPECT_GT(rec.gather_seconds, 0.0);
+  EXPECT_GT(rec.merge_seconds, 0.0);  // k-way timestamp merge
+  EXPECT_GT(rec.redo_seconds, 0.0);
+  EXPECT_GE(rec.total_seconds,
+            rec.gather_seconds + rec.merge_seconds + rec.redo_seconds - 1e-9);
+}
+
+TEST(Recovery, CentralLoggingSkipsTheMerge) {
+  ClusterConfig cfg = tiny(3, true);
+  Cluster cluster(cfg);
+  RunReport r = cluster.run();
+  ASSERT_GT(r.txns, 0.0);
+  RecoveryReport rec = recover(cluster, 1);
+  EXPECT_GT(rec.log_bytes, 0);
+  EXPECT_EQ(rec.merge_seconds, 0.0);
+  EXPECT_GT(rec.redo_seconds, 0.0);
+}
+
+TEST(Recovery, CheckpointingShrinksTheRedoLog) {
+  ClusterConfig cfg = tiny(2, false);
+  Cluster no_ckpt(cfg);
+  RunReport r1 = no_ckpt.run();
+  RecoveryReport rec_cold = recover(no_ckpt, 1);
+
+  Cluster with_ckpt(cfg);
+  CheckpointManager ckpt(with_ckpt, 3.0);
+  ckpt.start();
+  RunReport r2 = with_ckpt.run();
+  RecoveryReport rec_ckpt = recover(with_ckpt, 1);
+
+  ASSERT_GT(r1.txns, 0.0);
+  ASSERT_GT(r2.txns, 0.0);
+  EXPECT_LT(rec_ckpt.log_bytes, rec_cold.log_bytes);
+}
+
+}  // namespace
+}  // namespace dclue::core

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/router.hpp"
+#include "sim/engine.hpp"
+
+namespace dclue::net {
+namespace {
+
+/// Records delivered packets and their arrival times.
+struct Recorder : PacketSink {
+  std::vector<std::pair<sim::Time, Packet>> received;
+  sim::Engine* engine = nullptr;
+  void deliver(Packet pkt) override {
+    received.emplace_back(engine->now(), std::move(pkt));
+  }
+};
+
+Packet packet_to(Address dst, sim::Bytes bytes) {
+  Packet p;
+  p.dst = dst;
+  p.bytes = bytes;
+  return p;
+}
+
+TEST(Link, DeliversAfterSerializationPlusPropagation) {
+  sim::Engine e;
+  Recorder sink;
+  sink.engine = &e;
+  Link link(e, "l", sim::mbps(100), sim::milliseconds(1));
+  link.connect(&sink);
+  link.deliver(packet_to(1, 1250));  // 1250 B at 100 Mb/s = 100 us
+  e.run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_NEAR(sink.received[0].first, 100e-6 + 1e-3, 1e-12);
+}
+
+TEST(Link, SerializesBackToBackPackets) {
+  sim::Engine e;
+  Recorder sink;
+  sink.engine = &e;
+  Link link(e, "l", sim::mbps(100), 0.0);
+  link.connect(&sink);
+  link.deliver(packet_to(1, 1250));
+  link.deliver(packet_to(1, 1250));
+  e.run();
+  ASSERT_EQ(sink.received.size(), 2u);
+  EXPECT_NEAR(sink.received[0].first, 100e-6, 1e-12);
+  EXPECT_NEAR(sink.received[1].first, 200e-6, 1e-12);
+}
+
+TEST(Link, UtilizationReflectsBusyTime) {
+  sim::Engine e;
+  Recorder sink;
+  sink.engine = &e;
+  Link link(e, "l", sim::mbps(100), 0.0);
+  link.connect(&sink);
+  link.deliver(packet_to(1, 1250));  // busy for 100us
+  e.after(1e-3, [] {});              // idle until 1ms
+  e.run();
+  EXPECT_NEAR(link.utilization(e.now()), 0.1, 0.01);
+}
+
+TEST(Router, RoutesByDestination) {
+  sim::Engine e;
+  Recorder sink_a, sink_b;
+  sink_a.engine = sink_b.engine = &e;
+  Router r(e, "r");
+  Link to_a(e, "a", sim::gbps(1), 0.0);
+  Link to_b(e, "b", sim::gbps(1), 0.0);
+  to_a.connect(&sink_a);
+  to_b.connect(&sink_b);
+  r.add_route(1, &to_a);
+  r.add_route(2, &to_b);
+  r.deliver(packet_to(1, 100));
+  r.deliver(packet_to(2, 100));
+  r.deliver(packet_to(2, 100));
+  e.run();
+  EXPECT_EQ(sink_a.received.size(), 1u);
+  EXPECT_EQ(sink_b.received.size(), 2u);
+  EXPECT_EQ(r.forwarded().count(), 3u);
+}
+
+TEST(Router, UsesDefaultRouteForUnknownDestination) {
+  sim::Engine e;
+  Recorder sink;
+  sink.engine = &e;
+  Router r(e, "r");
+  Link out(e, "o", sim::gbps(1), 0.0);
+  out.connect(&sink);
+  r.set_default_route(&out);
+  r.deliver(packet_to(99, 100));
+  e.run();
+  EXPECT_EQ(sink.received.size(), 1u);
+}
+
+TEST(Router, ForwardingRateLimitsThroughput) {
+  sim::Engine e;
+  Recorder sink;
+  sink.engine = &e;
+  RouterParams p;
+  p.forwarding_rate_pps = 1000.0;  // 1 ms per packet
+  Router r(e, "r", p);
+  Link out(e, "o", sim::gbps(10), 0.0);
+  out.connect(&sink);
+  r.set_default_route(&out);
+  for (int i = 0; i < 5; ++i) r.deliver(packet_to(1, 100));
+  e.run();
+  ASSERT_EQ(sink.received.size(), 5u);
+  // The 5th packet leaves the forwarding engine at 5 ms.
+  EXPECT_NEAR(sink.received[4].first, 5e-3, 1e-6);
+}
+
+TEST(Router, InputQueueOverflowDrops) {
+  sim::Engine e;
+  RouterParams p;
+  p.forwarding_rate_pps = 1.0;
+  p.input_queue_packets = 3;
+  Router r(e, "r", p);
+  for (int i = 0; i < 10; ++i) r.deliver(packet_to(1, 100));
+  EXPECT_EQ(r.input_drops().count(), 7u);
+}
+
+TEST(Router, ForwardingDelayGrowsUnderLoad) {
+  sim::Engine e;
+  Recorder sink;
+  sink.engine = &e;
+  RouterParams p;
+  p.forwarding_rate_pps = 1000.0;
+  Router r(e, "r", p);
+  Link out(e, "o", sim::gbps(10), 0.0);
+  out.connect(&sink);
+  r.set_default_route(&out);
+  for (int i = 0; i < 10; ++i) r.deliver(packet_to(1, 100));
+  e.run();
+  // Average wait across a burst of 10 at 1ms service: mean ~5.5ms.
+  EXPECT_NEAR(r.forwarding_delay().mean(), 5.5e-3, 1e-4);
+}
+
+}  // namespace
+}  // namespace dclue::net

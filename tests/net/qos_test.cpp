@@ -1,0 +1,188 @@
+#include "net/qos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dclue::net {
+namespace {
+
+Packet make_packet(sim::Bytes bytes, Dscp dscp, sim::Bytes payload = 0) {
+  Packet p;
+  p.bytes = bytes;
+  p.dscp = dscp;
+  p.seg.len = payload;
+  return p;
+}
+
+TEST(OutputQueue, FifoWithinClass) {
+  OutputQueue q;
+  for (int i = 1; i <= 3; ++i) {
+    q.enqueue(make_packet(i * 100, Dscp::kBestEffort), 0.0);
+  }
+  EXPECT_EQ(q.dequeue(1.0)->bytes, 100);
+  EXPECT_EQ(q.dequeue(1.0)->bytes, 200);
+  EXPECT_EQ(q.dequeue(1.0)->bytes, 300);
+  EXPECT_FALSE(q.dequeue(1.0).has_value());
+}
+
+TEST(OutputQueue, StrictPriorityServesAfFirst) {
+  OutputQueue q;
+  q.enqueue(make_packet(100, Dscp::kBestEffort), 0.0);
+  q.enqueue(make_packet(200, Dscp::kAF21), 0.0);
+  q.enqueue(make_packet(300, Dscp::kBestEffort), 0.0);
+  EXPECT_EQ(q.dequeue(1.0)->bytes, 200);  // AF21 jumps the line
+  EXPECT_EQ(q.dequeue(1.0)->bytes, 100);
+  EXPECT_EQ(q.dequeue(1.0)->bytes, 300);
+}
+
+TEST(OutputQueue, NonPriorityModeIsGlobalFifo) {
+  QosParams p;
+  p.scheduler = QueueScheduler::kFifo;
+  OutputQueue q(p);
+  q.enqueue(make_packet(100, Dscp::kBestEffort), 0.0);
+  q.enqueue(make_packet(200, Dscp::kAF21), 1.0);
+  q.enqueue(make_packet(300, Dscp::kBestEffort), 2.0);
+  EXPECT_EQ(q.dequeue(3.0)->bytes, 100);
+  EXPECT_EQ(q.dequeue(3.0)->bytes, 200);
+  EXPECT_EQ(q.dequeue(3.0)->bytes, 300);
+}
+
+TEST(OutputQueue, TailDropWhenClassFull) {
+  QosParams p;
+  p.queue_limit_bytes = {1000, 1000};
+  p.ecn_mark_threshold_bytes = 0;
+  OutputQueue q(p);
+  EXPECT_TRUE(q.enqueue(make_packet(600, Dscp::kBestEffort), 0.0));
+  EXPECT_TRUE(q.enqueue(make_packet(400, Dscp::kBestEffort), 0.0));
+  EXPECT_FALSE(q.enqueue(make_packet(1, Dscp::kBestEffort), 0.0));
+  EXPECT_EQ(q.drops().count(), 1u);
+  // The other class still has room.
+  EXPECT_TRUE(q.enqueue(make_packet(500, Dscp::kAF21), 0.0));
+}
+
+TEST(OutputQueue, EcnMarksDataPacketsAboveThreshold) {
+  QosParams p;
+  p.queue_limit_bytes = {100000, 100000};
+  p.ecn_mark_threshold_bytes = 1000;
+  OutputQueue q(p);
+  // Fill past the mark threshold.
+  EXPECT_TRUE(q.enqueue(make_packet(1200, Dscp::kBestEffort, 1142), 0.0));
+  EXPECT_TRUE(q.enqueue(make_packet(500, Dscp::kBestEffort, 442), 0.0));
+  EXPECT_EQ(q.ecn_marks().count(), 1u);
+  q.dequeue(0.0);
+  auto marked = q.dequeue(0.0);
+  ASSERT_TRUE(marked.has_value());
+  EXPECT_TRUE(marked->seg.ce);
+}
+
+TEST(OutputQueue, PureAcksAreNotEcnMarked) {
+  QosParams p;
+  p.ecn_mark_threshold_bytes = 100;
+  OutputQueue q(p);
+  q.enqueue(make_packet(500, Dscp::kBestEffort, 442), 0.0);
+  q.enqueue(make_packet(58, Dscp::kBestEffort, 0), 0.0);  // pure ack
+  EXPECT_EQ(q.ecn_marks().count(), 0u);
+}
+
+TEST(OutputQueue, QueueDelayMeasured) {
+  OutputQueue q;
+  q.enqueue(make_packet(100, Dscp::kBestEffort), 1.0);
+  q.dequeue(4.0);
+  EXPECT_DOUBLE_EQ(q.queue_delay().mean(), 3.0);
+}
+
+TEST(OutputQueue, WfqInterleavesByWeight) {
+  QosParams p;
+  p.scheduler = QueueScheduler::kWfq;
+  p.wfq_weight = {3.0, 1.0};  // BE gets 3x the AF bandwidth
+  OutputQueue q(p);
+  for (int i = 0; i < 8; ++i) {
+    q.enqueue(make_packet(1000, Dscp::kBestEffort), 0.0);
+    q.enqueue(make_packet(1000, Dscp::kAF21), 0.0);
+  }
+  // Drain 8 packets: the 3:1 weights should yield ~6 BE and ~2 AF.
+  int be = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto pkt = q.dequeue(0.0);
+    ASSERT_TRUE(pkt.has_value());
+    if (pkt->dscp == Dscp::kBestEffort) ++be;
+  }
+  EXPECT_GE(be, 5);
+  EXPECT_LE(be, 7);
+}
+
+TEST(OutputQueue, WfqStillServesLowWeightClass) {
+  QosParams p;
+  p.scheduler = QueueScheduler::kWfq;
+  p.wfq_weight = {10.0, 1.0};
+  OutputQueue q(p);
+  q.enqueue(make_packet(1000, Dscp::kAF21), 0.0);
+  for (int i = 0; i < 20; ++i) q.enqueue(make_packet(1000, Dscp::kBestEffort), 0.0);
+  // The AF packet must drain within its fair share, not starve.
+  bool seen_af = false;
+  for (int i = 0; i < 12 && !seen_af; ++i) {
+    auto pkt = q.dequeue(0.0);
+    ASSERT_TRUE(pkt.has_value());
+    seen_af = pkt->dscp == Dscp::kAF21;
+  }
+  EXPECT_TRUE(seen_af);
+}
+
+TEST(OutputQueue, WredDropsEarlyUnderSustainedOccupancy) {
+  QosParams p;
+  p.drop = DropPolicy::kWred;
+  p.queue_limit_bytes = {20'000, 20'000};
+  p.wred_min_fraction = 0.1;
+  p.wred_max_fraction = 0.4;
+  p.wred_max_p = 1.0;
+  OutputQueue q(p);
+  int rejected = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (!q.enqueue(make_packet(1000, Dscp::kBestEffort, 900), 0.0)) ++rejected;
+  }
+  // Early drops kick in well before the 20-packet tail limit.
+  EXPECT_GT(rejected, 30);
+  EXPECT_LT(q.queued_bytes(), 20'000);
+}
+
+TEST(OutputQueue, WredMarksInsteadOfDroppingWhenEcnEnabled) {
+  QosParams p;
+  p.drop = DropPolicy::kWred;
+  p.ecn_mark_threshold_bytes = 1;  // enables marking in WRED mode
+  p.queue_limit_bytes = {50'000, 50'000};
+  p.wred_min_fraction = 0.02;
+  p.wred_max_fraction = 0.9;
+  p.wred_max_p = 1.0;
+  OutputQueue q(p);
+  for (int i = 0; i < 30; ++i) {
+    q.enqueue(make_packet(1000, Dscp::kBestEffort, 900), 0.0);
+  }
+  EXPECT_GT(q.ecn_marks().count(), 0u);
+}
+
+TEST(OutputQueue, TokenBucketPolicesNonconformingTraffic) {
+  QosParams p;
+  p.police[static_cast<int>(Dscp::kAF21)] = {8'000.0, 2'000};  // 1 KB/s, 2 KB burst
+  OutputQueue q(p);
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (q.enqueue(make_packet(1000, Dscp::kAF21), 0.0)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 2);  // burst allowance only
+  EXPECT_EQ(q.policed_drops().count(), 8u);
+  // Tokens refill with time.
+  EXPECT_TRUE(q.enqueue(make_packet(1000, Dscp::kAF21), 10.0));
+  // Unpoliced class is unaffected.
+  EXPECT_TRUE(q.enqueue(make_packet(1000, Dscp::kBestEffort), 0.0));
+}
+
+TEST(OutputQueue, QueuedBytesTracksOccupancy) {
+  OutputQueue q;
+  q.enqueue(make_packet(100, Dscp::kBestEffort), 0.0);
+  q.enqueue(make_packet(200, Dscp::kAF21), 0.0);
+  EXPECT_EQ(q.queued_bytes(), 300);
+  q.dequeue(0.0);
+  EXPECT_EQ(q.queued_bytes(), 100);
+}
+
+}  // namespace
+}  // namespace dclue::net

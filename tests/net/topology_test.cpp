@@ -1,0 +1,147 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dclue::net {
+namespace {
+
+/// Terminal sink recording arrivals.
+struct Recorder : PacketSink {
+  int count = 0;
+  void deliver(Packet) override { ++count; }
+};
+
+TEST(Topology, CountsMatchParams) {
+  sim::Engine e;
+  TopologyParams tp;
+  tp.latas = 2;
+  tp.servers_per_lata = 4;
+  tp.client_hosts = 3;
+  tp.extra_client_hosts = 1;
+  tp.extra_servers_per_lata = 1;
+  Topology topo(e, tp);
+  EXPECT_EQ(topo.num_servers(), 8);
+  EXPECT_EQ(topo.num_clients(), 3);
+  EXPECT_EQ(topo.num_extra_clients(), 1);
+  EXPECT_EQ(topo.num_extra_servers(), 2);
+  EXPECT_EQ(topo.lata_of_server(0), 0);
+  EXPECT_EQ(topo.lata_of_server(3), 0);
+  EXPECT_EQ(topo.lata_of_server(4), 1);
+  EXPECT_EQ(topo.lata_of_server(7), 1);
+}
+
+TEST(Topology, AddressesAreUnique) {
+  sim::Engine e;
+  TopologyParams tp;
+  tp.latas = 2;
+  tp.servers_per_lata = 3;
+  tp.client_hosts = 2;
+  Topology topo(e, tp);
+  std::set<Address> seen;
+  for (int i = 0; i < topo.num_servers(); ++i) {
+    EXPECT_TRUE(seen.insert(topo.server_nic(i).address()).second);
+  }
+  for (int i = 0; i < topo.num_clients(); ++i) {
+    EXPECT_TRUE(seen.insert(topo.client_nic(i).address()).second);
+  }
+}
+
+/// A raw packet from any host must reach any other host, across LATAs and
+/// through the outer router, with latency reflecting the hop count.
+TEST(Topology, RoutesIntraAndInterLata) {
+  sim::Engine e;
+  TopologyParams tp;
+  tp.latas = 2;
+  tp.servers_per_lata = 2;
+  Topology topo(e, tp);
+
+  auto send_and_time = [&](int from, int to) {
+    Recorder sink;
+    topo.server_nic(to).set_rx_handler(
+        [&sink](Packet pkt) { sink.deliver(std::move(pkt)); });
+    Packet pkt;
+    pkt.dst = topo.server_nic(to).address();
+    pkt.bytes = 1000;
+    const sim::Time start = e.now();
+    topo.server_nic(from).send(std::move(pkt));
+    e.run();
+    EXPECT_EQ(sink.count, 1) << from << "->" << to;
+    topo.server_nic(to).set_rx_handler({});
+    return e.now() - start;
+  };
+
+  const sim::Duration intra = send_and_time(0, 1);   // same LATA: 2 links
+  const sim::Duration inter = send_and_time(0, 2);   // cross LATA: 4 links
+  EXPECT_GT(intra, 0.0);
+  EXPECT_GT(inter, intra * 1.5);
+}
+
+TEST(Topology, ClientReachesServerThroughOuterRouter) {
+  sim::Engine e;
+  TopologyParams tp;
+  tp.latas = 1;
+  tp.servers_per_lata = 2;
+  tp.client_hosts = 1;
+  Topology topo(e, tp);
+  Recorder sink;
+  topo.server_nic(1).set_rx_handler([&sink](Packet pkt) { sink.deliver(std::move(pkt)); });
+  Packet pkt;
+  pkt.dst = topo.server_nic(1).address();
+  pkt.bytes = 500;
+  topo.client_nic(0).send(std::move(pkt));
+  e.run();
+  EXPECT_EQ(sink.count, 1);
+  EXPECT_EQ(topo.outer_router().forwarded().count(), 1u);
+  EXPECT_EQ(topo.inner_router(0).forwarded().count(), 1u);
+}
+
+TEST(Topology, ExtraLatencyAppliesToInterLataPathOnly) {
+  sim::Engine e1, e2;
+  TopologyParams base;
+  base.latas = 2;
+  base.servers_per_lata = 2;
+  TopologyParams slow = base;
+  slow.extra_inter_lata_latency = sim::milliseconds(50);
+
+  auto one_way = [](sim::Engine& e, TopologyParams tp, int from, int to) {
+    Topology topo(e, tp);
+    Recorder sink;
+    topo.server_nic(to).set_rx_handler([&sink](Packet p) { sink.deliver(std::move(p)); });
+    Packet pkt;
+    pkt.dst = topo.server_nic(to).address();
+    pkt.bytes = 100;
+    topo.server_nic(from).send(std::move(pkt));
+    e.run();
+    EXPECT_EQ(sink.count, 1);
+    return e.now();
+  };
+  const sim::Duration fast_inter = one_way(e1, base, 0, 2);
+  const sim::Duration slow_inter = one_way(e2, slow, 0, 2);
+  // One inter-LATA crossing carries half the configured extra latency... on
+  // each of the two links of the path (uplink + downlink) = the full extra.
+  EXPECT_NEAR(slow_inter - fast_inter, 50e-3, 1e-3);
+
+  sim::Engine e3, e4;
+  const sim::Duration fast_intra = one_way(e3, base, 0, 1);
+  const sim::Duration slow_intra = one_way(e4, slow, 0, 1);
+  EXPECT_NEAR(slow_intra, fast_intra, 1e-9);  // intra-LATA unaffected
+}
+
+TEST(Topology, TotalDropsAggregatesQueuesAndRouters) {
+  sim::Engine e;
+  TopologyParams tp;
+  tp.servers_per_lata = 2;
+  tp.qos.queue_limit_bytes = {500, 500};
+  Topology topo(e, tp);
+  // Flood one uplink without draining.
+  for (int i = 0; i < 20; ++i) {
+    Packet pkt;
+    pkt.dst = topo.server_nic(1).address();
+    pkt.bytes = 400;
+    topo.server_nic(0).send(std::move(pkt));
+  }
+  EXPECT_GT(topo.total_drops(), 0u);
+}
+
+}  // namespace
+}  // namespace dclue::net

@@ -1,0 +1,104 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dclue::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+}
+
+TEST(Engine, ExecutesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.after(2.0, [&] { order.push_back(2); });
+  e.after(1.0, [&] { order.push_back(1); });
+  e.after(3.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SameTimeEventsFireInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.after(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  int fired = 0;
+  e.after(1.0, [&] { ++fired; });
+  e.after(5.0, [&] { ++fired; });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 2.0);
+  e.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventsScheduledDuringRunExecute) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) e.after(1.0, recurse);
+  };
+  e.after(1.0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, CancelledEventDoesNotFire) {
+  Engine e;
+  int fired = 0;
+  auto h = e.after(1.0, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeAfterFire) {
+  Engine e;
+  int fired = 0;
+  auto h = e.after(1.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  h.cancel();  // no effect, no crash
+  h.cancel();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, DefaultConstructedHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.after(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_executed(), 7u);
+}
+
+TEST(Engine, ZeroDelayEventRunsAtCurrentTime) {
+  Engine e;
+  e.after(1.0, [&] {
+    e.after(0.0, [&] { EXPECT_EQ(e.now(), 1.0); });
+  });
+  e.run();
+}
+
+}  // namespace
+}  // namespace dclue::sim

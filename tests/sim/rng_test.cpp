@@ -1,0 +1,97 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace dclue::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(Rng, StreamsAreIndependentByName) {
+  RngFactory f(42);
+  Rng a = f.stream("tcp");
+  Rng b = f.stream("disk");
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.raw() != b.raw()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, StreamsAreIndependentByIndex) {
+  RngFactory f(42);
+  Rng a = f.stream("node", 0);
+  Rng b = f.stream("node", 1);
+  EXPECT_NE(a.raw(), b.raw());
+}
+
+TEST(Rng, SameStreamReproducible) {
+  RngFactory f(42);
+  Rng a = f.stream("node", 3);
+  Rng b = f.stream("node", 3);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(7);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(0, 4);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 4);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(Rng, ExponentialMeanIsApproximatelyRight) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, PickRespectsWeights) {
+  Rng r(13);
+  const std::array<double, 3> w{0.1, 0.0, 0.9};
+  std::array<int, 3> seen{};
+  for (int i = 0; i < 10000; ++i) ++seen[r.pick(w)];
+  EXPECT_EQ(seen[1], 0);
+  EXPECT_GT(seen[2], seen[0]);
+  EXPECT_NEAR(seen[0] / 10000.0, 0.1, 0.02);
+}
+
+TEST(Rng, NurandStaysInRange) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.nurand(255, 1, 3000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(Rng, ChanceProbabilityApproximatelyRight) {
+  Rng r(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace dclue::sim

@@ -1,0 +1,87 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dclue::sim {
+namespace {
+
+TEST(Tally, BasicMoments) {
+  Tally t;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.add(x);
+  EXPECT_EQ(t.count(), 8u);
+  EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+  EXPECT_NEAR(t.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.min(), 2.0);
+  EXPECT_DOUBLE_EQ(t.max(), 9.0);
+  EXPECT_DOUBLE_EQ(t.sum(), 40.0);
+}
+
+TEST(Tally, EmptyIsZero) {
+  Tally t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.mean(), 0.0);
+  EXPECT_EQ(t.variance(), 0.0);
+}
+
+TEST(Tally, ResetClears) {
+  Tally t;
+  t.add(5.0);
+  t.reset();
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.mean(), 0.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+  TimeWeighted tw;
+  tw.set(0.0, 2.0);   // value 2 on [0, 4)
+  tw.set(4.0, 6.0);   // value 6 on [4, 8)
+  EXPECT_DOUBLE_EQ(tw.average(8.0), 4.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 6.0);
+}
+
+TEST(TimeWeighted, AdjustAddsDelta) {
+  TimeWeighted tw;
+  tw.adjust(0.0, 3.0);
+  tw.adjust(1.0, -1.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 2.0);
+  EXPECT_DOUBLE_EQ(tw.average(2.0), 2.5);
+}
+
+TEST(TimeWeighted, ResetStartsNewWindow) {
+  TimeWeighted tw;
+  tw.set(0.0, 10.0);
+  tw.reset(5.0);
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 10.0);
+  tw.set(7.0, 0.0);
+  EXPECT_DOUBLE_EQ(tw.average(9.0), 5.0);  // 10 for 2s, 0 for 2s
+}
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.count(), 5u);
+  c.reset();
+  EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-5.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.bins()[0], 2u);
+  EXPECT_EQ(h.bins()[9], 2u);
+  EXPECT_EQ(h.tally().count(), 4u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.5);
+}
+
+}  // namespace
+}  // namespace dclue::sim

@@ -1,0 +1,112 @@
+/// Coroutine lifetime corner cases: tasks that are created but never
+/// awaited, stacked awaits deep enough to need symmetric transfer, and
+/// determinism of interleaved activities.
+
+#include <gtest/gtest.h>
+
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace dclue::sim {
+namespace {
+
+TEST(TaskLifetime, UnawaitedTaskIsDestroyedCleanly) {
+  Engine e;
+  bool body_ran = false;
+  {
+    auto t = [](bool& ran) -> Task<void> {
+      ran = true;
+      co_return;
+    }(body_ran);
+    // Dropped without co_await: the lazy body must never run, and the frame
+    // must be released without leaking (ASan-checked in CI).
+  }
+  EXPECT_FALSE(body_ran);
+  e.run();
+}
+
+TEST(TaskLifetime, MoveAssignReleasesPreviousFrame) {
+  Engine e;
+  auto make = [](Engine& eng) -> Task<void> { co_await delay_for(eng, 1.0); };
+  Task<void> t = make(e);
+  t = make(e);  // first frame destroyed here
+  bool done = false;
+  spawn([](Task<void> t, bool& done) -> Task<void> {
+    co_await std::move(t);
+    done = true;
+  }(std::move(t), done));
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(TaskLifetime, DeepAwaitChainDoesNotOverflowStack) {
+  Engine e;
+  // 100k-deep recursive await chain: symmetric transfer keeps the machine
+  // stack flat.
+  struct Recurse {
+    static Task<int> down(Engine& eng, int n) {
+      if (n == 0) {
+        co_await delay_for(eng, 1e-9);
+        co_return 0;
+      }
+      int below = co_await down(eng, n - 1);
+      co_return below + 1;
+    }
+  };
+  int result = -1;
+  spawn([](Engine& eng, int& out) -> Task<void> {
+    out = co_await Recurse::down(eng, 100'000);
+  }(e, result));
+  e.run();
+  EXPECT_EQ(result, 100'000);
+}
+
+TEST(TaskLifetime, ThousandsOfConcurrentActivitiesComplete) {
+  Engine e;
+  int completed = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    spawn([](Engine& eng, int i, int& done) -> Task<void> {
+      co_await delay_for(eng, 1e-6 * (i % 97));
+      co_await delay_for(eng, 1e-6 * (i % 13));
+      ++done;
+    }(e, i, completed));
+  }
+  e.run();
+  EXPECT_EQ(completed, 5'000);
+}
+
+TEST(TaskLifetime, InterleavingIsDeterministic) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      spawn([](Engine& eng, int i, std::vector<int>& order) -> Task<void> {
+        co_await delay_for(eng, 1e-6 * ((i * 7919) % 23));
+        order.push_back(i);
+      }(e, i, order));
+    }
+    e.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TaskLifetime, GateDestroyedAfterOpenIsSafe) {
+  Engine e;
+  bool resumed = false;
+  {
+    auto gate = std::make_unique<Gate>(e);
+    spawn([](Gate& g, bool& r) -> Task<void> {
+      co_await g.wait();
+      r = true;
+    }(*gate, resumed));
+    gate->open();
+    // Resumption is deferred through the engine; destroying the gate now
+    // must not break the pending wakeup (the handle was captured by value).
+  }
+  e.run();
+  EXPECT_TRUE(resumed);
+}
+
+}  // namespace
+}  // namespace dclue::sim

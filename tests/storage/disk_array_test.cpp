@@ -1,0 +1,83 @@
+#include "storage/disk_array.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dclue::storage {
+namespace {
+
+using sim::Task;
+
+TEST(DiskArray, StripesRequestsAcrossSpindles) {
+  sim::Engine e;
+  DiskArray arr(e, "a", 8, DiskParams{});
+  int done = 0;
+  // 32 concurrent reads on consecutive blocks: striping spreads them over
+  // all 8 spindles, so the batch completes ~8x faster than serial.
+  for (int i = 0; i < 32; ++i) {
+    sim::spawn([](DiskArray& a, int blk, int& done) -> Task<void> {
+      co_await a.read(blk, 8192);
+      ++done;
+    }(arr, i, done));
+  }
+  e.run();
+  EXPECT_EQ(done, 32);
+  EXPECT_EQ(arr.ops_completed(), 32u);
+  const sim::Time parallel_time = e.now();
+
+  sim::Engine e2;
+  DiskArray one(e2, "b", 1, DiskParams{});
+  sim::spawn([](DiskArray& a) -> Task<void> {
+    for (int i = 0; i < 32; ++i) co_await a.read(i, 8192);
+  }(one));
+  e2.run();
+  EXPECT_GT(e2.now(), parallel_time * 3);
+}
+
+TEST(DiskArray, SameBlockAlwaysSameSpindle) {
+  sim::Engine e;
+  DiskArray arr(e, "a", 4, DiskParams{});
+  sim::spawn([](DiskArray& a) -> Task<void> {
+    for (int i = 0; i < 10; ++i) co_await a.read(42, 8192);
+  }(arr));
+  e.run();
+  // All ten land on one spindle: its op count equals the total.
+  EXPECT_EQ(arr.max_ops(), 10u);
+}
+
+TEST(DiskArray, UtilizationAveragesAcrossSpindles) {
+  sim::Engine e;
+  DiskArray arr(e, "a", 4, DiskParams{});
+  sim::spawn([](DiskArray& a) -> Task<void> {
+    co_await a.read(0, 8192);  // busy only spindle 0
+  }(arr));
+  e.run();
+  EXPECT_NEAR(arr.avg_utilization(), 0.25, 0.05);
+  EXPECT_NEAR(arr.max_utilization(), 1.0, 0.01);
+}
+
+TEST(DiskArray, WritesAndReadsShareTheStripes) {
+  sim::Engine e;
+  DiskArray arr(e, "a", 2, DiskParams{});
+  int done = 0;
+  sim::spawn([](DiskArray& a, int& done) -> Task<void> {
+    co_await a.write(7, 8192);
+    co_await a.read(7, 8192);
+    ++done;
+  }(arr, done));
+  e.run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(arr.ops_completed(), 2u);
+}
+
+TEST(DiskArray, ResetStatsClearsCounters) {
+  sim::Engine e;
+  DiskArray arr(e, "a", 2, DiskParams{});
+  sim::spawn([](DiskArray& a) -> Task<void> { co_await a.read(1, 8192); }(arr));
+  e.run();
+  EXPECT_EQ(arr.ops_completed(), 1u);
+  arr.reset_stats();
+  EXPECT_EQ(arr.ops_completed(), 0u);
+}
+
+}  // namespace
+}  // namespace dclue::storage

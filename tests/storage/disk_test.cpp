@@ -1,0 +1,127 @@
+#include "storage/disk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dclue::storage {
+namespace {
+
+using sim::Task;
+
+TEST(Disk, SingleReadLatencyWithinMechanicalBounds) {
+  sim::Engine e;
+  DiskParams p;
+  Disk d(e, "d0", p);
+  sim::Time done = 0.0;
+  sim::spawn([](sim::Engine& e, Disk& d, sim::Time& out) -> Task<void> {
+    co_await d.read(1'000'000, 8192);
+    out = e.now();
+  }(e, d, done));
+  e.run();
+  // controller + seek + rotation + transfer: ~1-15 ms for a random 8K read.
+  EXPECT_GT(done, 1e-3);
+  EXPECT_LT(done, 20e-3);
+  EXPECT_EQ(d.ops_completed(), 1u);
+}
+
+TEST(Disk, SequentialReadsFasterThanRandom) {
+  sim::Engine e;
+  Disk seq(e, "seq", DiskParams{});
+  Disk rnd(e, "rnd", DiskParams{});
+  sim::Time t_seq = 0.0, t_rnd = 0.0;
+  sim::spawn([](sim::Engine& e, Disk& d, sim::Time& out) -> Task<void> {
+    for (int i = 0; i < 20; ++i) co_await d.read(100 + i, 8192);
+    out = e.now();
+  }(e, seq, t_seq));
+  e.run();
+  sim::Engine e2;
+  Disk rnd2(e2, "rnd", DiskParams{});
+  sim::spawn([](sim::Engine& e, Disk& d, sim::Time& out) -> Task<void> {
+    for (int i = 0; i < 20; ++i) co_await d.read((i * 7919) % 4000000, 8192);
+    out = e.now();
+  }(e2, rnd2, t_rnd));
+  e2.run();
+  EXPECT_LT(t_seq, t_rnd / 2);
+}
+
+TEST(Disk, ElevatorReordersQueuedRequests) {
+  sim::Engine e;
+  Disk d(e, "d", DiskParams{});
+  std::vector<std::int64_t> completion_order;
+  // Submit far block first, near block second, from head position 0;
+  // C-LOOK should serve the near one first.
+  auto io = [](Disk& d, std::vector<std::int64_t>& order,
+               std::int64_t block) -> Task<void> {
+    co_await d.read(block, 8192);
+    order.push_back(block);
+  };
+  sim::spawn(io(d, completion_order, 3'000'000));
+  sim::spawn(io(d, completion_order, 1'000));
+  e.run();
+  ASSERT_EQ(completion_order.size(), 2u);
+  // The first request races into service immediately; the queued pair after
+  // it would be reordered. Submit three to observe elevator order.
+  sim::Engine e2;
+  Disk d2(e2, "d2", DiskParams{});
+  std::vector<std::int64_t> order2;
+  sim::spawn(io(d2, order2, 10));           // starts service immediately
+  sim::spawn(io(d2, order2, 3'000'000));    // queued
+  sim::spawn(io(d2, order2, 2'000));        // queued, closer to head
+  e2.run();
+  ASSERT_EQ(order2.size(), 3u);
+  EXPECT_EQ(order2[1], 2'000);
+  EXPECT_EQ(order2[2], 3'000'000);
+}
+
+TEST(Disk, ScaledDiskIsProportionallySlower) {
+  sim::Engine e1, e2;
+  Disk fast(e1, "f", DiskParams{});
+  Disk slow(e2, "s", DiskParams{}.scaled(100.0));
+  sim::Time t1 = 0.0, t2 = 0.0;
+  sim::spawn([](sim::Engine& e, Disk& d, sim::Time& out) -> Task<void> {
+    co_await d.read(12345, 8192);
+    out = e.now();
+  }(e1, fast, t1));
+  sim::spawn([](sim::Engine& e, Disk& d, sim::Time& out) -> Task<void> {
+    co_await d.read(12345, 8192);
+    out = e.now();
+  }(e2, slow, t2));
+  e1.run();
+  e2.run();
+  EXPECT_NEAR(t2 / t1, 100.0, 1.0);
+}
+
+TEST(Disk, UtilizationAndLatencyStats) {
+  sim::Engine e;
+  Disk d(e, "d", DiskParams{});
+  sim::spawn([](Disk& d) -> Task<void> {
+    for (int i = 0; i < 5; ++i) co_await d.read(i * 500'000, 8192);
+  }(d));
+  e.run();
+  EXPECT_EQ(d.ops_completed(), 5u);
+  EXPECT_GT(d.latency().mean(), 0.0);
+  EXPECT_GE(d.latency().mean(), d.service_time().mean());
+  EXPECT_NEAR(d.utilization(), 1.0, 0.01);  // back-to-back, always busy
+}
+
+TEST(Disk, QueuedRequestLatencyIncludesWait) {
+  sim::Engine e;
+  Disk d(e, "d", DiskParams{});
+  std::vector<sim::Time> latencies;
+  for (int i = 0; i < 3; ++i) {
+    sim::spawn([](sim::Engine& e, Disk& d, std::vector<sim::Time>& lat,
+                  int i) -> Task<void> {
+      sim::Time start = e.now();
+      co_await d.read(i * 1'000'000, 8192);
+      lat.push_back(e.now() - start);
+    }(e, d, latencies, i));
+  }
+  e.run();
+  ASSERT_EQ(latencies.size(), 3u);
+  // The last-served request waited for the other two.
+  auto max_lat = *std::max_element(latencies.begin(), latencies.end());
+  auto min_lat = *std::min_element(latencies.begin(), latencies.end());
+  EXPECT_GT(max_lat, 2 * min_lat);
+}
+
+}  // namespace
+}  // namespace dclue::storage

@@ -1,0 +1,116 @@
+#include "workload/tpcc_txn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dclue::workload {
+namespace {
+
+db::TpccScale scale() {
+  db::TpccScale s;
+  s.warehouses = 40;
+  s.customers_per_district = 300;
+  s.items = 1000;
+  return s;
+}
+
+TEST(Generator, NewOrderInputsRespectSpecRanges) {
+  TpccInputGenerator gen(scale(), sim::Rng(1));
+  for (int i = 0; i < 500; ++i) {
+    TxnInput in = gen.generate(TxnType::kNewOrder, 7);
+    EXPECT_EQ(in.w, 7);
+    EXPECT_GE(in.d, 1);
+    EXPECT_LE(in.d, 10);
+    EXPECT_GE(in.c, 1);
+    EXPECT_LE(in.c, 300);
+    EXPECT_GE(in.lines.size(), 5u);
+    EXPECT_LE(in.lines.size(), 15u);
+    for (const auto& line : in.lines) {
+      EXPECT_GE(line.item, 1);
+      EXPECT_LE(line.item, 1000);
+      EXPECT_GE(line.supply_w, 1);
+      EXPECT_LE(line.supply_w, 40);
+      EXPECT_GE(line.quantity, 1);
+      EXPECT_LE(line.quantity, 10);
+    }
+  }
+}
+
+TEST(Generator, AboutOnePercentOfNewOrdersRollBack) {
+  TpccInputGenerator gen(scale(), sim::Rng(2));
+  int rollbacks = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.generate(TxnType::kNewOrder, 1).rollback) ++rollbacks;
+  }
+  EXPECT_NEAR(rollbacks / static_cast<double>(n), 0.01, 0.004);
+}
+
+TEST(Generator, AboutOnePercentOfLinesAreRemote) {
+  TpccInputGenerator gen(scale(), sim::Rng(3));
+  int remote = 0, total = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    TxnInput in = gen.generate(TxnType::kNewOrder, 5);
+    for (const auto& line : in.lines) {
+      ++total;
+      if (line.supply_w != 5) ++remote;
+    }
+  }
+  EXPECT_NEAR(remote / static_cast<double>(total), 0.01, 0.005);
+}
+
+TEST(Generator, FifteenPercentOfPaymentsAreRemote) {
+  TpccInputGenerator gen(scale(), sim::Rng(4));
+  int remote = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    TxnInput in = gen.generate(TxnType::kPayment, 5);
+    if (in.c_w != 5) ++remote;
+  }
+  EXPECT_NEAR(remote / static_cast<double>(n), 0.15, 0.02);
+}
+
+TEST(Generator, CustomerIdsAreNurandSkewed) {
+  TpccInputGenerator gen(scale(), sim::Rng(5));
+  std::map<std::int64_t, int> freq;
+  for (int i = 0; i < 30'000; ++i) {
+    ++freq[gen.generate(TxnType::kOrderStatus, 1).c];
+  }
+  // NURand produces a hot subset: the most popular id should be visited far
+  // more than the uniform expectation (30000/300 = 100).
+  int max_count = 0;
+  for (const auto& [c, n] : freq) max_count = std::max(max_count, n);
+  EXPECT_GT(max_count, 200);
+}
+
+TEST(Generator, BusinessTransactionStartsWithNewOrderAndMatchesMix) {
+  TpccInputGenerator gen(scale(), sim::Rng(6));
+  std::array<int, kNumTxnTypes> counts{};
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    auto seq = gen.business_transaction(3);
+    ASSERT_GE(seq.size(), 2u);
+    EXPECT_EQ(seq[0].type, TxnType::kNewOrder);
+    EXPECT_EQ(seq[1].type, TxnType::kPayment);
+    for (const auto& t : seq) ++counts[static_cast<int>(t.type)];
+  }
+  const double total = counts[0] + counts[1] + counts[2] + counts[3] + counts[4];
+  EXPECT_NEAR(counts[0] / total, 0.43, 0.02);  // new-order
+  EXPECT_NEAR(counts[1] / total, 0.43, 0.02);  // payment
+  EXPECT_NEAR(counts[2] / total, 0.05, 0.01);  // order-status
+  EXPECT_NEAR(counts[3] / total, 0.05, 0.01);  // delivery
+  EXPECT_NEAR(counts[4] / total, 0.04, 0.01);  // stock-level
+}
+
+TEST(Generator, StockLevelThresholdInRange) {
+  TpccInputGenerator gen(scale(), sim::Rng(7));
+  for (int i = 0; i < 200; ++i) {
+    TxnInput in = gen.generate(TxnType::kStockLevel, 1);
+    EXPECT_GE(in.threshold, 10);
+    EXPECT_LE(in.threshold, 20);
+  }
+}
+
+}  // namespace
+}  // namespace dclue::workload
