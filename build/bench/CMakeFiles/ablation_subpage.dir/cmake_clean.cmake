@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subpage.dir/ablation_subpage.cpp.o"
+  "CMakeFiles/ablation_subpage.dir/ablation_subpage.cpp.o.d"
+  "ablation_subpage"
+  "ablation_subpage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_txn_breakdown.dir/ablation_txn_breakdown.cpp.o"
+  "CMakeFiles/ablation_txn_breakdown.dir/ablation_txn_breakdown.cpp.o.d"
+  "ablation_txn_breakdown"
+  "ablation_txn_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_txn_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_qos_future.dir/ext_qos_future.cpp.o"
+  "CMakeFiles/ext_qos_future.dir/ext_qos_future.cpp.o.d"
+  "ext_qos_future"
+  "ext_qos_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_qos_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_03_ipc_messages.dir/fig02_03_ipc_messages.cpp.o"
+  "CMakeFiles/fig02_03_ipc_messages.dir/fig02_03_ipc_messages.cpp.o.d"
+  "fig02_03_ipc_messages"
+  "fig02_03_ipc_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_03_ipc_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_05_lock_waits.dir/fig04_05_lock_waits.cpp.o"
+  "CMakeFiles/fig04_05_lock_waits.dir/fig04_05_lock_waits.cpp.o.d"
+  "fig04_05_lock_waits"
+  "fig04_05_lock_waits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_05_lock_waits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

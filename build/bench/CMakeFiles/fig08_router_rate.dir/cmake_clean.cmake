@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_router_rate.dir/fig08_router_rate.cpp.o"
+  "CMakeFiles/fig08_router_rate.dir/fig08_router_rate.cpp.o.d"
+  "fig08_router_rate"
+  "fig08_router_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_router_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_central_logging.dir/fig09_central_logging.cpp.o"
+  "CMakeFiles/fig09_central_logging.dir/fig09_central_logging.cpp.o.d"
+  "fig09_central_logging"
+  "fig09_central_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_central_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

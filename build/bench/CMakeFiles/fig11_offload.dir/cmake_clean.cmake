@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_offload.dir/fig11_offload.cpp.o"
+  "CMakeFiles/fig11_offload.dir/fig11_offload.cpp.o.d"
+  "fig11_offload"
+  "fig11_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_cross_traffic.dir/fig14_15_cross_traffic.cpp.o"
+  "CMakeFiles/fig14_15_cross_traffic.dir/fig14_15_cross_traffic.cpp.o.d"
+  "fig14_15_cross_traffic"
+  "fig14_15_cross_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_cross_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cross_affinity.dir/fig16_cross_affinity.cpp.o"
+  "CMakeFiles/fig16_cross_affinity.dir/fig16_cross_affinity.cpp.o.d"
+  "fig16_cross_affinity"
+  "fig16_cross_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cross_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dclue_cli.dir/dclue_cli.cpp.o"
+  "CMakeFiles/dclue_cli.dir/dclue_cli.cpp.o.d"
+  "dclue_cli"
+  "dclue_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dclue_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_cluster.dir/geo_cluster.cpp.o"
+  "CMakeFiles/geo_cluster.dir/geo_cluster.cpp.o.d"
+  "geo_cluster"
+  "geo_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

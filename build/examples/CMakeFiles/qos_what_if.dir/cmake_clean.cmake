@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_what_if.dir/qos_what_if.cpp.o"
+  "CMakeFiles/qos_what_if.dir/qos_what_if.cpp.o.d"
+  "qos_what_if"
+  "qos_what_if.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_what_if.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/fusion.cpp" "src/CMakeFiles/dclue.dir/cluster/fusion.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/cluster/fusion.cpp.o.d"
+  "/root/repo/src/cluster/ipc.cpp" "src/CMakeFiles/dclue.dir/cluster/ipc.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/cluster/ipc.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/dclue.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/dclue.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/CMakeFiles/dclue.dir/core/node.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/core/node.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/CMakeFiles/dclue.dir/core/recovery.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/core/recovery.cpp.o.d"
+  "/root/repo/src/cpu/memory_system.cpp" "src/CMakeFiles/dclue.dir/cpu/memory_system.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/cpu/memory_system.cpp.o.d"
+  "/root/repo/src/cpu/processor.cpp" "src/CMakeFiles/dclue.dir/cpu/processor.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/cpu/processor.cpp.o.d"
+  "/root/repo/src/db/tpcc_schema.cpp" "src/CMakeFiles/dclue.dir/db/tpcc_schema.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/db/tpcc_schema.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/dclue.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/CMakeFiles/dclue.dir/net/router.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/net/router.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/CMakeFiles/dclue.dir/net/tcp.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/net/tcp.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/dclue.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/net/topology.cpp.o.d"
+  "/root/repo/src/proto/channel.cpp" "src/CMakeFiles/dclue.dir/proto/channel.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/proto/channel.cpp.o.d"
+  "/root/repo/src/proto/ftp.cpp" "src/CMakeFiles/dclue.dir/proto/ftp.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/proto/ftp.cpp.o.d"
+  "/root/repo/src/proto/iscsi.cpp" "src/CMakeFiles/dclue.dir/proto/iscsi.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/proto/iscsi.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/dclue.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/dclue.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/dclue.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/storage/disk.cpp" "src/CMakeFiles/dclue.dir/storage/disk.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/storage/disk.cpp.o.d"
+  "/root/repo/src/workload/client.cpp" "src/CMakeFiles/dclue.dir/workload/client.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/workload/client.cpp.o.d"
+  "/root/repo/src/workload/tpcc_txn.cpp" "src/CMakeFiles/dclue.dir/workload/tpcc_txn.cpp.o" "gcc" "src/CMakeFiles/dclue.dir/workload/tpcc_txn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

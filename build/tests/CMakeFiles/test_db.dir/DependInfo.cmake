@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db/btree_test.cpp" "tests/CMakeFiles/test_db.dir/db/btree_test.cpp.o" "gcc" "tests/CMakeFiles/test_db.dir/db/btree_test.cpp.o.d"
+  "/root/repo/tests/db/buffer_lock_test.cpp" "tests/CMakeFiles/test_db.dir/db/buffer_lock_test.cpp.o" "gcc" "tests/CMakeFiles/test_db.dir/db/buffer_lock_test.cpp.o.d"
+  "/root/repo/tests/db/table_schema_test.cpp" "tests/CMakeFiles/test_db.dir/db/table_schema_test.cpp.o" "gcc" "tests/CMakeFiles/test_db.dir/db/table_schema_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dclue.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

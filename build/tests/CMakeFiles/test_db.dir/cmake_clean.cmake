@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db.dir/db/btree_test.cpp.o"
+  "CMakeFiles/test_db.dir/db/btree_test.cpp.o.d"
+  "CMakeFiles/test_db.dir/db/buffer_lock_test.cpp.o"
+  "CMakeFiles/test_db.dir/db/buffer_lock_test.cpp.o.d"
+  "CMakeFiles/test_db.dir/db/table_schema_test.cpp.o"
+  "CMakeFiles/test_db.dir/db/table_schema_test.cpp.o.d"
+  "test_db"
+  "test_db.pdb"
+  "test_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/link_router_test.cpp" "tests/CMakeFiles/test_net.dir/net/link_router_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/link_router_test.cpp.o.d"
+  "/root/repo/tests/net/qos_test.cpp" "tests/CMakeFiles/test_net.dir/net/qos_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/qos_test.cpp.o.d"
+  "/root/repo/tests/net/tcp_behavior_test.cpp" "tests/CMakeFiles/test_net.dir/net/tcp_behavior_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/tcp_behavior_test.cpp.o.d"
+  "/root/repo/tests/net/tcp_test.cpp" "tests/CMakeFiles/test_net.dir/net/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/tcp_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/CMakeFiles/test_net.dir/net/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dclue.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
