@@ -20,13 +20,18 @@ int main() {
   const std::vector<double> sizes = bench::fast_mode()
                                         ? std::vector<double>{128, 8192}
                                         : std::vector<double>{96, 128, 512, 2048, 8192};
+  bench::Sweep sweep;
   for (double bytes : sizes) {
     core::ClusterConfig cfg = bench::base_config();
     cfg.nodes = 4;
     cfg.affinity = 0.5;  // cross-node traffic stretches lock hold times
     cfg.district_subpage_bytes = static_cast<sim::Bytes>(bytes);
-    core::RunReport r = core::run_experiment(cfg);
-    table.add_row({bytes, r.tpmc / 1000.0, r.lock_waits_per_txn,
+    sweep.add(cfg);
+  }
+  sweep.run();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const core::RunReport& r = sweep[i];
+    table.add_row({sizes[i], r.tpmc / 1000.0, r.lock_waits_per_txn,
                    r.lock_failures_per_txn, r.lock_wait_time_ms});
   }
   table.print();

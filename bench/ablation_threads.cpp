@@ -21,13 +21,18 @@ int main() {
   const std::vector<double> sweep = bench::fast_mode()
                                         ? std::vector<double>{16, 48}
                                         : std::vector<double>{8, 16, 24, 36, 48, 72, 96};
+  bench::Sweep points;
   for (double terminals : sweep) {
     core::ClusterConfig cfg = bench::base_config();
     cfg.nodes = 2;
     cfg.affinity = 0.8;
     cfg.terminals_per_node = static_cast<int>(terminals);
-    core::RunReport r = core::run_experiment(cfg);
-    table.add_row({terminals, r.tpmc / 1000.0, r.avg_active_threads,
+    points.add(cfg);
+  }
+  points.run();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const core::RunReport& r = points[i];
+    table.add_row({sweep[i], r.tpmc / 1000.0, r.avg_active_threads,
                    r.avg_context_switch_cycles / 1000.0, r.avg_cpi,
                    r.cpu_utilization});
   }

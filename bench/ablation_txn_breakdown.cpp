@@ -21,13 +21,18 @@ int main() {
   const std::vector<double> affinities =
       bench::fast_mode() ? std::vector<double>{1.0, 0.5}
                          : std::vector<double>{1.0, 0.8, 0.5, 0.25, 0.0};
+  bench::Sweep sweep;
   for (double a : affinities) {
     core::ClusterConfig cfg = bench::base_config();
     cfg.nodes = 8;
     cfg.affinity = a;
-    core::RunReport r = core::run_experiment(cfg);
-    table.add_row({a, r.txn_ms, r.txn_phase1_ms, r.txn_lock_ms, r.txn_log_ms,
-                   r.txn_apply_ms, r.ipc_control_per_txn});
+    sweep.add(cfg);
+  }
+  sweep.run();
+  for (std::size_t i = 0; i < affinities.size(); ++i) {
+    const core::RunReport& r = sweep[i];
+    table.add_row({affinities[i], r.txn_ms, r.txn_phase1_ms, r.txn_lock_ms,
+                   r.txn_log_ms, r.txn_apply_ms, r.ipc_control_per_txn});
   }
   table.print();
   std::printf(

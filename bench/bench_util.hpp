@@ -27,6 +27,36 @@ inline core::ClusterConfig base_config() {
   return cfg;
 }
 
+/// Deferred sweep: benches enqueue every configuration point up front, run
+/// them all at once (concurrently when REPRO_JOBS > 1), then read the
+/// reports back by the index add() returned. Because each point is an
+/// independent deterministic simulation, the tables printed are identical
+/// whatever the worker count.
+class Sweep {
+ public:
+  /// Queue a point; returns its index into the report vector.
+  std::size_t add(const core::ClusterConfig& cfg) {
+    cfgs_.push_back(cfg);
+    return cfgs_.size() - 1;
+  }
+
+  /// Run all queued points (honors REPRO_JOBS).
+  void run() { reports_ = core::run_experiments(cfgs_); }
+
+  /// Like run(), but each point averages \p replications seeds exactly as
+  /// run_experiment_avg does (which reseeds even when replications == 1).
+  void run_avg(int replications) {
+    reports_ = core::run_experiments_avg(cfgs_, replications);
+  }
+
+  const core::RunReport& operator[](std::size_t i) const { return reports_.at(i); }
+  [[nodiscard]] std::size_t size() const { return cfgs_.size(); }
+
+ private:
+  std::vector<core::ClusterConfig> cfgs_;
+  std::vector<core::RunReport> reports_;
+};
+
 inline void banner(const char* fig, const char* what) {
   std::printf("=====================================================\n");
   std::printf("%s: %s\n", fig, what);

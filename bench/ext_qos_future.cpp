@@ -38,48 +38,50 @@ int main() {
   const double rate = 0.92 * (cap.txn_rate / 8.0) / kTxnsPerBt;
   const double ftp_mbps = bench::fast_mode() ? 100.0 : 400.0;
 
-  struct Scheme {
-    const char* name;
-    int id;
-  };
-  double baseline = 0.0;
-  int id = 0;
-  auto run_scheme = [&](const char* name, auto configure) {
+  bench::Sweep sweep;
+  std::vector<const char*> names;
+  auto add_scheme = [&](const char* name, auto configure) {
     core::ClusterConfig cfg = scenario();
     cfg.open_loop_bt_rate_per_node = rate;
     configure(cfg);
-    core::RunReport r = core::run_experiment(cfg);
-    if (baseline == 0.0) baseline = r.tpmc;
-    std::printf("  [%d] %s\n", id, name);
-    table.add_row({static_cast<double>(id++), r.tpmc / 1000.0,
-                   (1.0 - r.tpmc / baseline) * 100.0, r.ftp_carried_mbps,
-                   r.control_msg_delay_ms});
+    sweep.add(cfg);
+    names.push_back(name);
   };
 
-  run_scheme("no cross traffic (reference)", [&](core::ClusterConfig&) {});
-  run_scheme("FTP best-effort (paper)", [&](core::ClusterConfig& cfg) {
+  add_scheme("no cross traffic (reference)", [&](core::ClusterConfig&) {});
+  add_scheme("FTP best-effort (paper)", [&](core::ClusterConfig& cfg) {
     cfg.ftp.offered_load_mbps = ftp_mbps;
   });
-  run_scheme("FTP @ AF21 strict priority (paper)", [&](core::ClusterConfig& cfg) {
+  add_scheme("FTP @ AF21 strict priority (paper)", [&](core::ClusterConfig& cfg) {
     cfg.ftp.offered_load_mbps = ftp_mbps;
     cfg.ftp.high_priority = true;
   });
-  run_scheme("WFQ 4:1 (DBMS:FTP)", [&](core::ClusterConfig& cfg) {
+  add_scheme("WFQ 4:1 (DBMS:FTP)", [&](core::ClusterConfig& cfg) {
     cfg.ftp.offered_load_mbps = ftp_mbps;
     cfg.ftp.high_priority = true;
     cfg.qos.scheduler = net::QueueScheduler::kWfq;
   });
-  run_scheme("priority + AF policed to 100 Mb/s", [&](core::ClusterConfig& cfg) {
+  add_scheme("priority + AF policed to 100 Mb/s", [&](core::ClusterConfig& cfg) {
     cfg.ftp.offered_load_mbps = ftp_mbps;
     cfg.ftp.high_priority = true;
     cfg.qos.af_police_mbps = 100.0;
   });
-  run_scheme("priority + WRED/ECN", [&](core::ClusterConfig& cfg) {
+  add_scheme("priority + WRED/ECN", [&](core::ClusterConfig& cfg) {
     cfg.ftp.offered_load_mbps = ftp_mbps;
     cfg.ftp.high_priority = true;
     cfg.qos.wred = true;
     cfg.ecn_marking = true;
   });
+  sweep.run();
+
+  const double baseline = sweep[0].tpmc;
+  for (std::size_t id = 0; id < sweep.size(); ++id) {
+    const core::RunReport& r = sweep[id];
+    std::printf("  [%zu] %s\n", id, names[id]);
+    table.add_row({static_cast<double>(id), r.tpmc / 1000.0,
+                   (1.0 - r.tpmc / baseline) * 100.0, r.ftp_carried_mbps,
+                   r.control_msg_delay_ms});
+  }
   table.print();
   std::printf(
       "\nReading: WFQ and policing bound the priority class's damage while\n"

@@ -10,7 +10,21 @@ using namespace dclue;
 
 int main() {
   bench::banner("Fig 2 / Fig 3", "IPC messages per transaction vs nodes");
-  for (double affinity : {0.8, 0.0}) {
+  const std::vector<double> affinities = {0.8, 0.0};
+
+  bench::Sweep sweep;
+  for (double affinity : affinities) {
+    for (int nodes : bench::node_sweep()) {
+      core::ClusterConfig cfg = bench::base_config();
+      cfg.nodes = nodes;
+      cfg.affinity = affinity;
+      sweep.add(cfg);
+    }
+  }
+  sweep.run();
+
+  std::size_t k = 0;
+  for (double affinity : affinities) {
     core::SeriesTable table(affinity == 0.8
                                 ? "Fig 2: IPC msgs/txn, affinity 0.8"
                                 : "Fig 3: IPC msgs/txn, affinity 0.0");
@@ -18,10 +32,7 @@ int main() {
     table.add_column("control/txn");
     table.add_column("data/txn");
     for (int nodes : bench::node_sweep()) {
-      core::ClusterConfig cfg = bench::base_config();
-      cfg.nodes = nodes;
-      cfg.affinity = affinity;
-      core::RunReport r = core::run_experiment(cfg);
+      const core::RunReport& r = sweep[k++];
       table.add_row({static_cast<double>(nodes), r.ipc_control_per_txn,
                      r.ipc_data_per_txn});
     }

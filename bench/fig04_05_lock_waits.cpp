@@ -20,16 +20,27 @@ int main() {
     waits.add_column(buf);
     times.add_column(buf);
   }
+
+  bench::Sweep sweep;
   for (int nodes : bench::node_sweep()) {
-    std::vector<double> wrow{static_cast<double>(nodes)};
-    std::vector<double> trow{static_cast<double>(nodes)};
     for (double a : affinities) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = nodes;
       cfg.affinity = a;
-      // Lock statistics are the noisiest series in the paper; average a few
-      // replications.
-      core::RunReport r = core::run_experiment_avg(cfg, bench::fast_mode() ? 1 : 3);
+      sweep.add(cfg);
+    }
+  }
+  // Lock statistics are the noisiest series in the paper; average a few
+  // replications.
+  sweep.run_avg(bench::fast_mode() ? 1 : 3);
+
+  std::size_t k = 0;
+  for (int nodes : bench::node_sweep()) {
+    std::vector<double> wrow{static_cast<double>(nodes)};
+    std::vector<double> trow{static_cast<double>(nodes)};
+    for (double a : affinities) {
+      (void)a;
+      const core::RunReport& r = sweep[k++];
       wrow.push_back(r.lock_waits_per_txn + r.lock_failures_per_txn);
       trow.push_back(r.lock_wait_time_ms);
     }

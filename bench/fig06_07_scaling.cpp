@@ -12,6 +12,33 @@ int main() {
   bench::banner("Fig 6 / Fig 7", "throughput scaling vs nodes and affinity");
 
   const std::vector<double> fig6_affinities = {1.0, 0.8, 0.5, 0.0};
+  const std::vector<int> fig7_nodes = bench::fast_mode()
+                                          ? std::vector<int>{4, 8}
+                                          : std::vector<int>{4, 8, 16};
+  const std::vector<double> fig7_affinities =
+      bench::fast_mode() ? std::vector<double>{1.0, 0.8, 0.5, 0.0}
+                         : std::vector<double>{1.0, 0.9, 0.8, 0.65, 0.5, 0.25, 0.0};
+
+  bench::Sweep sweep;
+  for (int nodes : bench::node_sweep()) {
+    for (double a : fig6_affinities) {
+      core::ClusterConfig cfg = bench::base_config();
+      cfg.nodes = nodes;
+      cfg.affinity = a;
+      sweep.add(cfg);
+    }
+  }
+  for (double a : fig7_affinities) {
+    for (int n : fig7_nodes) {
+      core::ClusterConfig cfg = bench::base_config();
+      cfg.nodes = n;
+      cfg.affinity = a;
+      sweep.add(cfg);
+    }
+  }
+  sweep.run();
+
+  std::size_t k = 0;
   core::SeriesTable fig6("Fig 6: tpm-C (thousands) vs nodes");
   fig6.add_column("nodes");
   for (double a : fig6_affinities) {
@@ -22,22 +49,13 @@ int main() {
   for (int nodes : bench::node_sweep()) {
     std::vector<double> row{static_cast<double>(nodes)};
     for (double a : fig6_affinities) {
-      core::ClusterConfig cfg = bench::base_config();
-      cfg.nodes = nodes;
-      cfg.affinity = a;
-      core::RunReport r = core::run_experiment(cfg);
-      row.push_back(r.tpmc / 1000.0);
+      (void)a;
+      row.push_back(sweep[k++].tpmc / 1000.0);
     }
     fig6.add_row(row);
   }
   fig6.print();
 
-  const std::vector<int> fig7_nodes = bench::fast_mode()
-                                          ? std::vector<int>{4, 8}
-                                          : std::vector<int>{4, 8, 16};
-  const std::vector<double> fig7_affinities =
-      bench::fast_mode() ? std::vector<double>{1.0, 0.8, 0.5, 0.0}
-                         : std::vector<double>{1.0, 0.9, 0.8, 0.65, 0.5, 0.25, 0.0};
   core::SeriesTable fig7("Fig 7: tpm-C (thousands) vs affinity");
   fig7.add_column("affinity");
   for (int n : fig7_nodes) {
@@ -48,11 +66,8 @@ int main() {
   for (double a : fig7_affinities) {
     std::vector<double> row{a};
     for (int n : fig7_nodes) {
-      core::ClusterConfig cfg = bench::base_config();
-      cfg.nodes = n;
-      cfg.affinity = a;
-      core::RunReport r = core::run_experiment(cfg);
-      row.push_back(r.tpmc / 1000.0);
+      (void)n;
+      row.push_back(sweep[k++].tpmc / 1000.0);
     }
     fig7.add_row(row);
   }

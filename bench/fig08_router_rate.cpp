@@ -15,15 +15,26 @@ int main() {
   table.add_column("4000 pps");
   const std::vector<int> nodes_sweep =
       bench::fast_mode() ? std::vector<int>{2, 4, 8} : std::vector<int>{2, 4, 6, 8, 10, 12};
+  const std::vector<double> rates = {10'000.0, 4'000.0};
+
+  bench::Sweep sweep;
   for (int nodes : nodes_sweep) {
-    std::vector<double> row{static_cast<double>(nodes)};
-    for (double pps : {10'000.0, 4'000.0}) {
+    for (double pps : rates) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = nodes;
       cfg.affinity = 0.8;
       cfg.router_pps_at_scale100 = pps;
-      core::RunReport r = core::run_experiment(cfg);
-      row.push_back(r.tpmc / 1000.0);
+      sweep.add(cfg);
+    }
+  }
+  sweep.run();
+
+  std::size_t k = 0;
+  for (int nodes : nodes_sweep) {
+    std::vector<double> row{static_cast<double>(nodes)};
+    for (double pps : rates) {
+      (void)pps;
+      row.push_back(sweep[k++].tpmc / 1000.0);
     }
     table.add_row(row);
   }

@@ -12,19 +12,27 @@ int main() {
   table.add_column("nodes");
   table.add_column("local log");
   table.add_column("central log");
-  const std::vector<int> sweep = bench::fast_mode()
-                                     ? std::vector<int>{2, 4, 8}
-                                     : std::vector<int>{2, 4, 8, 12, 16, 24};
-  for (int nodes : sweep) {
-    std::vector<double> row{static_cast<double>(nodes)};
+  const std::vector<int> sweep_nodes = bench::fast_mode()
+                                           ? std::vector<int>{2, 4, 8}
+                                           : std::vector<int>{2, 4, 8, 12, 16, 24};
+
+  bench::Sweep sweep;
+  for (int nodes : sweep_nodes) {
     for (bool central : {false, true}) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = nodes;
       cfg.affinity = 0.8;
       cfg.central_logging = central;
-      core::RunReport r = core::run_experiment(cfg);
-      row.push_back(r.tpmc / 1000.0);
+      sweep.add(cfg);
     }
+  }
+  sweep.run();
+
+  std::size_t k = 0;
+  for (int nodes : sweep_nodes) {
+    std::vector<double> row{static_cast<double>(nodes)};
+    row.push_back(sweep[k++].tpmc / 1000.0);
+    row.push_back(sweep[k++].tpmc / 1000.0);
     table.add_row(row);
   }
   table.print();

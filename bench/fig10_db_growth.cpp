@@ -14,22 +14,31 @@ int main() {
   table.add_column("linear DB");
   table.add_column("sqrt>90K DB");
   table.add_column("wh(sqrt)");
-  const std::vector<int> sweep = bench::fast_mode()
-                                     ? std::vector<int>{2, 4, 8}
-                                     : std::vector<int>{2, 4, 8, 12, 16, 24};
-  for (int nodes : sweep) {
-    std::vector<double> row{static_cast<double>(nodes)};
-    std::int64_t sqrt_wh = 0;
+  const std::vector<int> sweep_nodes = bench::fast_mode()
+                                           ? std::vector<int>{2, 4, 8}
+                                           : std::vector<int>{2, 4, 8, 12, 16, 24};
+
+  bench::Sweep sweep;
+  std::vector<std::int64_t> sqrt_wh;
+  for (int nodes : sweep_nodes) {
     for (auto growth : {core::DbGrowth::kLinear, core::DbGrowth::kSqrtBeyond90k}) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = nodes;
       cfg.affinity = 0.8;
       cfg.growth = growth;
-      if (growth == core::DbGrowth::kSqrtBeyond90k) sqrt_wh = cfg.warehouses();
-      core::RunReport r = core::run_experiment(cfg);
-      row.push_back(r.tpmc / 1000.0);
+      if (growth == core::DbGrowth::kSqrtBeyond90k) sqrt_wh.push_back(cfg.warehouses());
+      sweep.add(cfg);
     }
-    row.push_back(static_cast<double>(sqrt_wh));
+  }
+  sweep.run();
+
+  std::size_t k = 0;
+  std::size_t w = 0;
+  for (int nodes : sweep_nodes) {
+    std::vector<double> row{static_cast<double>(nodes)};
+    row.push_back(sweep[k++].tpmc / 1000.0);
+    row.push_back(sweep[k++].tpmc / 1000.0);
+    row.push_back(static_cast<double>(sqrt_wh[w++]));
     table.add_row(row);
   }
   table.print();

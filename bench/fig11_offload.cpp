@@ -21,16 +21,27 @@ int main() {
     bool hw_iscsi;
   };
   const Case cases[] = {{true, true}, {true, false}, {false, false}};
-  for (double a : {1.0, 0.8, 0.5}) {
-    std::vector<double> row{a};
+  const std::vector<double> affinities = {1.0, 0.8, 0.5};
+
+  bench::Sweep sweep;
+  for (double a : affinities) {
     for (const Case& c : cases) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = bench::fast_mode() ? 4 : 8;
       cfg.affinity = a;
       cfg.hw_tcp = c.hw_tcp;
       cfg.hw_iscsi = c.hw_iscsi;
-      core::RunReport r = core::run_experiment(cfg);
-      row.push_back(r.tpmc / 1000.0);
+      sweep.add(cfg);
+    }
+  }
+  sweep.run();
+
+  std::size_t k = 0;
+  for (double a : affinities) {
+    std::vector<double> row{a};
+    for (const Case& c : cases) {
+      (void)c;
+      row.push_back(sweep[k++].tpmc / 1000.0);
     }
     table.add_row(row);
   }

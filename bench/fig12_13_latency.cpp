@@ -28,11 +28,52 @@ core::ClusterConfig scenario(double affinity, double comp) {
 /// Average TPC-C transactions per business transaction (mix-derived).
 constexpr double kTxnsPerBt = 2.0 + (0.05 + 0.05 + 0.04) / 0.43;
 
+constexpr double kComps[] = {1.0, 0.25};
+constexpr double kAffinities[] = {0.8, 0.5};
+
 }  // namespace
 
 int main() {
   bench::banner("Fig 12 / Fig 13", "inter-LATA latency impact, 2 LATAs x 4 nodes");
-  for (double comp : {1.0, 0.25}) {
+  const std::vector<double> latencies =
+      bench::fast_mode() ? std::vector<double>{0.0, 1.0}
+                         : std::vector<double>{0.0, 0.5, 1.0, 2.0};
+
+  // Pass 1: closed-loop capacity probe per (comp, affinity), all points at
+  // once. Pass 2 depends on these rates, so it is a second sweep.
+  bench::Sweep probes;
+  for (double comp : kComps) {
+    for (double a : kAffinities) {
+      probes.add(scenario(a, comp));
+    }
+  }
+  probes.run();
+
+  std::size_t p = 0;
+  std::array<std::array<double, 2>, 2> open_rate{};  // [comp][affinity], bt/s per node
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    for (std::size_t ai = 0; ai < 2; ++ai) {
+      open_rate[ci][ai] = 0.92 * (probes[p++].txn_rate / 8.0) / kTxnsPerBt;
+    }
+  }
+
+  // Pass 2: open-loop latency sweep for both figures.
+  bench::Sweep sweep;
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    for (double ms : latencies) {
+      for (std::size_t ai = 0; ai < 2; ++ai) {
+        core::ClusterConfig cfg = scenario(kAffinities[ai], kComps[ci]);
+        cfg.open_loop_bt_rate_per_node = open_rate[ci][ai];
+        cfg.extra_inter_lata_latency = ms * 1e-3;
+        sweep.add(cfg);
+      }
+    }
+  }
+  sweep.run();
+
+  std::size_t k = 0;
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    const double comp = kComps[ci];
     core::SeriesTable table(comp == 1.0
                                 ? "Fig 12: tpm-C(k) + drop% vs extra latency, normal comp"
                                 : "Fig 13: tpm-C(k) + drop% vs extra latency, low comp");
@@ -42,39 +83,18 @@ int main() {
     table.add_column("a=0.8 thr");
     table.add_column("a=0.5 tpmC");
     table.add_column("a=0.5 drop%");
-    const std::vector<double> latencies =
-        bench::fast_mode() ? std::vector<double>{0.0, 1.0}
-                           : std::vector<double>{0.0, 0.5, 1.0, 2.0};
-
-    // Pass 1: closed-loop capacity probe per affinity.
-    std::array<double, 2> open_rate{};
-    {
-      int idx = 0;
-      for (double a : {0.8, 0.5}) {
-        core::RunReport cap = core::run_experiment(scenario(a, comp));
-        open_rate[idx++] =
-            0.92 * (cap.txn_rate / 8.0) / kTxnsPerBt;  // bt/s per node
-      }
-    }
 
     std::array<double, 2> baseline{0.0, 0.0};
     for (double ms : latencies) {
       std::vector<double> row{ms};
-      int idx = 0;
-      for (double a : {0.8, 0.5}) {
-        core::ClusterConfig cfg = scenario(a, comp);
-        cfg.open_loop_bt_rate_per_node = open_rate[static_cast<std::size_t>(idx)];
-        cfg.extra_inter_lata_latency = ms * 1e-3;
-        core::RunReport r = core::run_experiment(cfg);
-        if (ms == 0.0) baseline[static_cast<std::size_t>(idx)] = r.tpmc;
+      for (std::size_t ai = 0; ai < 2; ++ai) {
+        const core::RunReport& r = sweep[k++];
+        if (ms == 0.0) baseline[ai] = r.tpmc;
         const double drop =
-            baseline[static_cast<std::size_t>(idx)] > 0
-                ? (1.0 - r.tpmc / baseline[static_cast<std::size_t>(idx)]) * 100.0
-                : 0.0;
+            baseline[ai] > 0 ? (1.0 - r.tpmc / baseline[ai]) * 100.0 : 0.0;
         row.push_back(r.tpmc / 1000.0);
         row.push_back(drop);
-        if (a == 0.8) row.push_back(r.avg_active_threads);
-        ++idx;
+        if (kAffinities[ai] == 0.8) row.push_back(r.avg_active_threads);
       }
       table.add_row(row);
     }

@@ -18,6 +18,7 @@ using namespace dclue;
 
 namespace {
 constexpr double kTxnsPerBt = 2.0 + (0.05 + 0.05 + 0.04) / 0.43;
+constexpr double kComps[] = {1.0, 0.25};
 
 core::ClusterConfig scenario(double comp) {
   core::ClusterConfig cfg = bench::base_config();
@@ -31,7 +32,36 @@ core::ClusterConfig scenario(double comp) {
 
 int main() {
   bench::banner("Fig 14 / Fig 15", "FTP cross traffic impact, 2 LATAs x 4 nodes");
-  for (double comp : {1.0, 0.25}) {
+  const std::vector<double> loads = bench::fast_mode()
+                                        ? std::vector<double>{0, 100}
+                                        : std::vector<double>{0, 100, 200, 400, 600};
+
+  // Closed-loop capacity probes (both figures), then the open-loop grid.
+  bench::Sweep probes;
+  for (double comp : kComps) probes.add(scenario(comp));
+  probes.run();
+  std::array<double, 2> rate{};
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    rate[ci] = 0.92 * (probes[ci].txn_rate / 8.0) / kTxnsPerBt;
+  }
+
+  bench::Sweep sweep;
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    for (double mbps : loads) {
+      for (bool priority : {false, true}) {
+        core::ClusterConfig cfg = scenario(kComps[ci]);
+        cfg.open_loop_bt_rate_per_node = rate[ci];
+        cfg.ftp.offered_load_mbps = mbps;
+        cfg.ftp.high_priority = priority;
+        sweep.add(cfg);
+      }
+    }
+  }
+  sweep.run();
+
+  std::size_t k = 0;
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    const double comp = kComps[ci];
     core::SeriesTable table(
         comp == 1.0 ? "Fig 14: tpm-C(k) vs offered FTP load, normal comp"
                     : "Fig 15: tpm-C(k) vs offered FTP load, low comp");
@@ -44,25 +74,12 @@ int main() {
     table.add_column("AF21 lw_ms");
     table.add_column("AF21 dly_ms");
 
-    // Closed-loop capacity probe, then open-loop at ~92% of it.
-    core::RunReport cap = core::run_experiment(scenario(comp));
-    const double rate = 0.92 * (cap.txn_rate / 8.0) / kTxnsPerBt;
-
-    const std::vector<double> loads = bench::fast_mode()
-                                          ? std::vector<double>{0, 100}
-                                          : std::vector<double>{0, 100, 200, 400, 600};
     for (double mbps : loads) {
       std::vector<double> row{mbps};
-      core::RunReport pri;
-      for (bool priority : {false, true}) {
-        core::ClusterConfig cfg = scenario(comp);
-        cfg.open_loop_bt_rate_per_node = rate;
-        cfg.ftp.offered_load_mbps = mbps;
-        cfg.ftp.high_priority = priority;
-        core::RunReport r = core::run_experiment(cfg);
-        row.push_back(r.tpmc / 1000.0);
-        if (priority) pri = r;
-      }
+      const core::RunReport& be = sweep[k++];
+      const core::RunReport& pri = sweep[k++];
+      row.push_back(be.tpmc / 1000.0);
+      row.push_back(pri.tpmc / 1000.0);
       row.push_back(pri.avg_active_threads);
       row.push_back(pri.avg_context_switch_cycles / 1000.0);
       row.push_back(pri.avg_cpi);

@@ -12,7 +12,16 @@ using namespace dclue;
 
 namespace {
 constexpr double kTxnsPerBt = 2.0 + (0.05 + 0.05 + 0.04) / 0.43;
+
+core::ClusterConfig base_for(double affinity) {
+  core::ClusterConfig cfg = bench::base_config();
+  cfg.nodes = 8;
+  cfg.max_servers_per_lata = 4;
+  cfg.affinity = affinity;
+  cfg.computation_factor = 0.25;  // low computation
+  return cfg;
 }
+}  // namespace
 
 int main() {
   bench::banner("Fig 16", "cross traffic impact vs affinity (low comp)");
@@ -26,34 +35,34 @@ int main() {
   const std::vector<double> affinities =
       bench::fast_mode() ? std::vector<double>{0.8, 0.0}
                          : std::vector<double>{1.0, 0.8, 0.5, 0.0};
-  for (double a : affinities) {
-    core::ClusterConfig base = bench::base_config();
-    base.nodes = 8;
-    base.max_servers_per_lata = 4;
-    base.affinity = a;
-    base.computation_factor = 0.25;  // low computation
-    core::RunReport cap = core::run_experiment(base);
-    const double rate = 0.92 * (cap.txn_rate / 8.0) / kTxnsPerBt;
 
-    std::vector<double> row{a};
-    double baseline = 0.0, thr0 = 0.0, thr1 = 0.0;
+  bench::Sweep probes;
+  for (double a : affinities) probes.add(base_for(a));
+  probes.run();
+
+  bench::Sweep sweep;
+  for (std::size_t ai = 0; ai < affinities.size(); ++ai) {
+    const double rate = 0.92 * (probes[ai].txn_rate / 8.0) / kTxnsPerBt;
     for (double mbps : {0.0, 100.0}) {
-      core::ClusterConfig cfg = base;
+      core::ClusterConfig cfg = base_for(affinities[ai]);
       cfg.open_loop_bt_rate_per_node = rate;
       cfg.ftp.offered_load_mbps = mbps;
       cfg.ftp.high_priority = true;
-      core::RunReport r = core::run_experiment(cfg);
-      if (mbps == 0.0) {
-        baseline = r.tpmc;
-        thr0 = r.avg_active_threads;
-      } else {
-        thr1 = r.avg_active_threads;
-      }
-      row.push_back(r.tpmc / 1000.0);
+      sweep.add(cfg);
     }
-    row.push_back(baseline > 0 ? (1.0 - row[2] * 1000.0 / baseline) * 100.0 : 0.0);
-    row.push_back(thr0);
-    row.push_back(thr1);
+  }
+  sweep.run();
+
+  std::size_t k = 0;
+  for (double a : affinities) {
+    const core::RunReport& clean = sweep[k++];
+    const core::RunReport& loaded = sweep[k++];
+    std::vector<double> row{a};
+    row.push_back(clean.tpmc / 1000.0);
+    row.push_back(loaded.tpmc / 1000.0);
+    row.push_back(clean.tpmc > 0 ? (1.0 - loaded.tpmc / clean.tpmc) * 100.0 : 0.0);
+    row.push_back(clean.avg_active_threads);
+    row.push_back(loaded.avg_active_threads);
     table.add_row(row);
   }
   table.print();

@@ -1,0 +1,207 @@
+/// Engine hot-path microbenchmark: schedule → fire → cancel throughput of
+/// the arena engine vs the seed implementation (std::function +
+/// shared_ptr<bool> cancellation flag + std::priority_queue of fat events),
+/// reproduced here verbatim as `LegacyEngine`. Emits BENCH_engine.json with
+/// events/sec for both and the speedup.
+///
+/// The workload mirrors what the model does per simulated packet/transaction:
+///   - a self-rescheduling event chain (timer wheel churn),
+///   - a cancel-and-rearm timer per firing (the TCP RTO/delayed-ACK pattern),
+///   - a fraction of large-capture callbacks (the link-transmit pattern
+///     that carries an 80-byte Packet by value).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// The seed engine, kept as the measurement baseline.
+// ---------------------------------------------------------------------------
+
+class LegacyHandle {
+ public:
+  LegacyHandle() = default;
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  [[nodiscard]] bool pending() const { return cancelled_ && !*cancelled_; }
+  explicit LegacyHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+
+ private:
+  std::shared_ptr<bool> cancelled_;
+};
+
+class LegacyEngine {
+ public:
+  using Time = dclue::sim::Time;
+  [[nodiscard]] Time now() const { return now_; }
+
+  LegacyHandle at(Time t, std::function<void()> fn) {
+    auto flag = std::make_shared<bool>(false);
+    queue_.push(Event{t, next_seq_++, std::move(fn), flag});
+    return LegacyHandle{std::move(flag)};
+  }
+  LegacyHandle after(Time delay, std::function<void()> fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+  std::uint64_t run() {
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (*ev.cancelled) continue;
+      now_ = ev.time;
+      ev.fn();
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-chain jitter source (no libc rand; reproducible).
+struct Lcg {
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  double next() {  // in [0, 1)
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(s >> 11) * (1.0 / 9007199254740992.0);
+  }
+};
+
+struct BigCapture {
+  unsigned char payload[80] = {};  // stands in for a by-value net::Packet
+};
+
+/// Runs kChains self-rescheduling chains until `fired` reaches target; every
+/// firing rearms a cancel-heavy timer, and every 8th firing carries a large
+/// capture. Works with either engine via duck typing.
+template <typename EngineT, typename HandleT>
+struct Churn {
+  EngineT& engine;
+  std::uint64_t target_fires;
+  std::uint64_t fired = 0;
+  Lcg jitter;
+  std::vector<HandleT> timers;
+
+  Churn(EngineT& e, std::uint64_t target) : engine(e), target_fires(target) {
+    timers.resize(kChains);
+  }
+
+  static constexpr int kChains = 64;
+
+  void step(int c, int hop) {
+    ++fired;
+    if (fired >= target_fires) return;
+    // Timer rearm: cancel the previous pending timer, schedule a fresh one
+    // far in the future (it usually never fires — the RTO pattern).
+    timers[static_cast<std::size_t>(c)].cancel();
+    timers[static_cast<std::size_t>(c)] = engine.after(1e6 + jitter.next(), [] {});
+    if (hop % 8 == 0) {
+      BigCapture big;
+      big.payload[0] = static_cast<unsigned char>(hop);
+      engine.after(0.5 + jitter.next(), [this, c, big, hop](/*large*/) {
+        (void)big;
+        step(c, hop + 1);
+      });
+    } else {
+      engine.after(0.5 + jitter.next(), [this, c, hop] { step(c, hop + 1); });
+    }
+  }
+
+  std::uint64_t run() {
+    for (int c = 0; c < kChains; ++c) {
+      engine.after(jitter.next(), [this, c] { step(c, 1); });
+    }
+    engine.run();
+    return fired;
+  }
+};
+
+template <typename EngineT, typename HandleT>
+std::uint64_t churn(EngineT& engine, std::uint64_t target_fires) {
+  Churn<EngineT, HandleT> c(engine, target_fires);
+  return c.run();
+}
+
+template <typename EngineT, typename HandleT>
+double measure_events_per_sec(std::uint64_t target_fires) {
+  // Warmup pass to fault in allocators/arena, then the timed pass.
+  {
+    EngineT warm;
+    churn<EngineT, HandleT>(warm, target_fires / 10);
+  }
+  EngineT engine;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t fired = churn<EngineT, HandleT>(engine, target_fires);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(fired) / secs;
+}
+
+}  // namespace
+
+int main() {
+  const char* fast = std::getenv("REPRO_FAST");
+  const std::uint64_t fires = (fast && fast[0] == '1') ? 400'000 : 4'000'000;
+
+  std::printf("engine microbenchmark: schedule/fire/cancel churn, %llu events\n",
+              static_cast<unsigned long long>(fires));
+
+  const double legacy =
+      measure_events_per_sec<LegacyEngine, LegacyHandle>(fires);
+  std::printf("  legacy (shared_ptr + std::function + priority_queue): %.3g events/sec\n",
+              legacy);
+
+  const double arena =
+      measure_events_per_sec<dclue::sim::Engine, dclue::sim::EventHandle>(fires);
+  std::printf("  arena  (generation slots + inline callbacks + 4-ary heap): %.3g events/sec\n",
+              arena);
+
+  const double speedup = arena / legacy;
+  std::printf("  speedup: %.2fx\n", speedup);
+
+  FILE* f = std::fopen("BENCH_engine.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"engine_schedule_fire_cancel\",\n"
+                 "  \"events\": %llu,\n"
+                 "  \"legacy_events_per_sec\": %.1f,\n"
+                 "  \"arena_events_per_sec\": %.1f,\n"
+                 "  \"speedup\": %.3f\n"
+                 "}\n",
+                 static_cast<unsigned long long>(fires), legacy, arena, speedup);
+    std::fclose(f);
+    std::printf("  wrote BENCH_engine.json\n");
+  }
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/sweep.hpp"
+
 namespace dclue::core {
 
 RunReport run_experiment(const ClusterConfig& cfg) {
@@ -42,6 +44,28 @@ RunReport run_experiment_avg(ClusterConfig cfg, int replications) {
     avg.measure_seconds = one.measure_seconds;
   }
   return avg;
+}
+
+std::vector<RunReport> run_experiments(const std::vector<ClusterConfig>& cfgs,
+                                       int jobs) {
+  return sim::sweep_map<RunReport>(
+      cfgs.size(), jobs, [&cfgs](std::size_t i) { return run_experiment(cfgs[i]); });
+}
+
+std::vector<RunReport> run_experiments(const std::vector<ClusterConfig>& cfgs) {
+  return run_experiments(cfgs, sim::sweep_jobs());
+}
+
+std::vector<RunReport> run_experiments_avg(const std::vector<ClusterConfig>& cfgs,
+                                           int replications, int jobs) {
+  return sim::sweep_map<RunReport>(cfgs.size(), jobs, [&](std::size_t i) {
+    return run_experiment_avg(cfgs[i], replications);
+  });
+}
+
+std::vector<RunReport> run_experiments_avg(const std::vector<ClusterConfig>& cfgs,
+                                           int replications) {
+  return run_experiments_avg(cfgs, replications, sim::sweep_jobs());
 }
 
 ClusterConfig default_config() {

@@ -22,6 +22,22 @@ RunReport run_experiment(const ClusterConfig& cfg);
 /// characteristics"; replication tames them).
 RunReport run_experiment_avg(ClusterConfig cfg, int replications);
 
+/// Run every configuration point and return the reports in input order.
+/// Points run concurrently on the sweep pool when REPRO_JOBS > 1 (see
+/// sim/sweep.hpp); each point owns its Engine and RNG streams, so the
+/// reports are bit-identical to a serial sweep. The \p jobs overloads pin
+/// the worker count explicitly (used by the determinism tests).
+std::vector<RunReport> run_experiments(const std::vector<ClusterConfig>& cfgs);
+std::vector<RunReport> run_experiments(const std::vector<ClusterConfig>& cfgs,
+                                       int jobs);
+
+/// Sweep-pool version of run_experiment_avg: replications of one point stay
+/// serial (the seed chain is sequential) but points run concurrently.
+std::vector<RunReport> run_experiments_avg(const std::vector<ClusterConfig>& cfgs,
+                                           int replications);
+std::vector<RunReport> run_experiments_avg(const std::vector<ClusterConfig>& cfgs,
+                                           int replications, int jobs);
+
 /// Column-oriented series printer.
 class SeriesTable {
  public:

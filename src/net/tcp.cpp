@@ -5,8 +5,6 @@
 
 namespace dclue::net {
 
-std::uint64_t TcpStack::next_conn_id_ = 1;
-
 // ---------------------------------------------------------------------------
 // TcpStack
 // ---------------------------------------------------------------------------
@@ -23,8 +21,12 @@ TcpStack::TcpStack(sim::Engine& engine, Nic& nic, TcpParams params,
 
 std::shared_ptr<TcpConnection> TcpStack::connect(Address dst, std::uint16_t port,
                                                  Dscp dscp) {
+  // Connection ids come from the engine so they are unique across every
+  // stack of one simulation yet independent of any other run in the process
+  // (a process-global counter would make concurrent sweep points diverge
+  // from their serial twins).
   auto conn = std::shared_ptr<TcpConnection>(
-      new TcpConnection(*this, next_conn_id_++, dst, dscp, /*active=*/true));
+      new TcpConnection(*this, engine_.allocate_id(), dst, dscp, /*active=*/true));
   conn->syn_port_ = port;
   connections_[conn->id()] = conn;
   conn->start_handshake();

@@ -268,8 +268,6 @@ class TcpStack {
   sim::Counter segments_sent_;
   sim::Counter segments_received_;
   sim::Counter retransmits_;
-
-  static std::uint64_t next_conn_id_;
 };
 
 }  // namespace dclue::net

@@ -4,9 +4,8 @@
 
 namespace dclue::proto {
 
-std::unordered_map<std::uint64_t, MsgChannel*>& MsgChannel::rendezvous() {
-  static std::unordered_map<std::uint64_t, MsgChannel*> map;
-  return map;
+std::unordered_map<std::uint64_t, void*>& MsgChannel::rendezvous() {
+  return conn_->stack_engine().rendezvous_board();
 }
 
 MsgChannel::MsgChannel(std::shared_ptr<net::TcpConnection> conn)
@@ -17,7 +16,7 @@ MsgChannel::MsgChannel(std::shared_ptr<net::TcpConnection> conn)
   inbox_ = std::make_shared<sim::Mailbox<Message>>(conn_->stack_engine());
   auto [it, inserted] = rendezvous().try_emplace(conn_->id(), this);
   if (!inserted) {
-    peer_ = it->second;
+    peer_ = static_cast<MsgChannel*>(it->second);
     peer_->peer_ = this;
     rendezvous().erase(conn_->id());
     // Messages either side framed before pairing become in-flight now (they

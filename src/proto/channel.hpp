@@ -62,9 +62,11 @@ class MsgChannel {
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
 
-  /// Rendezvous: connection ids are globally unique, so endpoints of the
-  /// same connection pair up here at construction time.
-  static std::unordered_map<std::uint64_t, MsgChannel*>& rendezvous();
+  /// Rendezvous: connection ids are unique within one engine, so endpoints
+  /// of the same connection pair up at construction time on the engine's
+  /// rendezvous board (engine-scoped so concurrent sweep points never see
+  /// each other's channels).
+  std::unordered_map<std::uint64_t, void*>& rendezvous();
 };
 
 }  // namespace dclue::proto

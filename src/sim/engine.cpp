@@ -1,45 +1,50 @@
 #include "sim/engine.hpp"
 
-#include <limits>
-
 namespace dclue::sim {
 
-EventHandle Engine::at(Time t, std::function<void()> fn) {
-  assert(t >= now_);
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, std::move(fn), flag});
-  return EventHandle{std::move(flag)};
+Engine::~Engine() {
+  // Destroy callbacks still parked in the arena (events never fired because
+  // the run ended first). Free slots have a null destroy pointer.
+  for (std::uint32_t i = 0; i < num_slots_; ++i) {
+    Slot& s = slot(i);
+    if (s.invoke != nullptr && s.destroy != nullptr) s.destroy(s);
+  }
+}
+
+void Engine::fire_head() {
+  const QueueEntry e = heap_[0];
+  heap_pop();
+  Slot& s = slot(e.slot);
+  if (s.generation != e.generation) return;  // cancelled; slot already reused
+  // Bump the generation before invoking so handles held by the callback
+  // itself (or by anything it touches) read "already fired": cancel() becomes
+  // a no-op instead of destroying the running callback.
+  ++s.generation;
+  --live_;
+  now_ = e.time;
+  s.invoke(s);
+  // The arena is chunked, so `s` is stable even if the callback scheduled new
+  // events; the slot could not be recycled because it was not yet free.
+  if (s.destroy != nullptr) s.destroy(s);
+  release_slot(e.slot);
+  ++executed_;
 }
 
 std::uint64_t Engine::run_until(Time t_end) {
-  std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= t_end) {
-    // priority_queue::top() is const; the event must be moved out before the
-    // callback runs because the callback may schedule (and thus reallocate).
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (*ev.cancelled) continue;
-    now_ = ev.time;
-    ev.fn();
-    ++n;
-    ++executed_;
+  const std::uint64_t before = executed_;
+  while (!heap_.empty() && heap_[0].time <= t_end) {
+    fire_head();
   }
   if (now_ < t_end) now_ = t_end;
-  return n;
+  return executed_ - before;
 }
 
 std::uint64_t Engine::run() {
-  std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (*ev.cancelled) continue;
-    now_ = ev.time;
-    ev.fn();
-    ++n;
-    ++executed_;
+  const std::uint64_t before = executed_;
+  while (!heap_.empty()) {
+    fire_head();
   }
-  return n;
+  return executed_ - before;
 }
 
 }  // namespace dclue::sim

@@ -5,12 +5,23 @@
 /// the paper's DCLUE model was built on. Events scheduled at equal times fire
 /// in scheduling order (a monotonically increasing sequence number breaks
 /// ties), so a run is a pure function of configuration and seed.
+///
+/// Hot-path design (see DESIGN.md §"Engine internals"): the schedule → fire →
+/// recycle cycle is allocation-free in the common case. Callbacks live in a
+/// pooled arena of fixed 128-byte slots with 96 bytes of inline storage
+/// (large captures fall back to the heap); cancellation is a generation bump
+/// on the slot, so an EventHandle is just {engine, slot index, generation}
+/// and cancelled events are dropped lazily when they surface at the head of
+/// the queue. The queue itself is a 4-ary heap of 24-byte POD entries.
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/units.hpp"
@@ -20,44 +31,51 @@ namespace dclue::sim {
 class Engine;
 
 /// Handle to a scheduled event; allows cancellation (e.g. TCP retransmission
-/// timers that are reset on every ACK). Copies share the cancellation state.
+/// timers that are reset on every ACK). Copies refer to the same slot
+/// generation, so cancelling through any copy invalidates all of them.
+/// A handle must not outlive its Engine.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancel the event if it has not fired yet. Idempotent.
-  void cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
+  void cancel();
 
   /// True if the handle refers to an event that can still fire.
-  [[nodiscard]] bool pending() const { return cancelled_ && !*cancelled_; }
+  [[nodiscard]] bool pending() const;
 
  private:
   friend class Engine;
-  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Engine* engine, std::uint32_t slot, std::uint32_t generation)
+      : engine_(engine), slot_(slot), generation_(generation) {}
+
+  Engine* engine_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 /// The event loop. Single-threaded by design: determinism is worth more to a
-/// sensitivity study than parallel speedup, and the model is cheap enough to
-/// sweep serially.
+/// sensitivity study than intra-run parallel speedup. Independent runs are
+/// swept concurrently instead (one Engine per thread; see sweep.hpp).
 class Engine {
  public:
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine();
 
   /// Current simulated time.
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule \p fn to run at absolute time \p t (>= now()).
-  EventHandle at(Time t, std::function<void()> fn);
+  template <typename F>
+  EventHandle at(Time t, F&& fn);
 
   /// Schedule \p fn to run \p delay seconds from now.
-  EventHandle after(Duration delay, std::function<void()> fn) {
+  template <typename F>
+  EventHandle after(Duration delay, F&& fn) {
     assert(delay >= 0.0);
-    return at(now_ + delay, std::move(fn));
+    return at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Run until the event queue drains or simulated time reaches \p t_end.
@@ -70,24 +88,223 @@ class Engine {
   /// Total number of events executed so far.
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+  /// Number of arena slots currently holding a scheduled (uncancelled) event.
+  [[nodiscard]] std::size_t events_pending() const { return live_; }
+
+  /// Monotonic per-engine id source. Model components that need ids unique
+  /// within one simulation (e.g. TCP connection ids) draw them here, so runs
+  /// stay identical whether they execute serially or on a sweep pool.
+  std::uint64_t allocate_id() { return next_id_++; }
+
+  /// Per-engine rendezvous board: a generic key → pointer map components use
+  /// to pair endpoints created on opposite sides of a connection (see
+  /// proto::MsgChannel). Engine-scoped (not global) so concurrent sweeps
+  /// cannot observe each other.
+  std::unordered_map<std::uint64_t, void*>& rendezvous_board() {
+    return rendezvous_;
+  }
+
  private:
-  struct Event {
+  friend class EventHandle;
+
+  /// Inline callback storage: most model lambdas capture a `this` pointer and
+  /// a few scalars; the largest hot-path capture is a by-value net::Packet
+  /// (80 bytes) plus a pointer.
+  static constexpr std::size_t kInlineBytes = 96;
+  static constexpr std::uint32_t kChunkSize = 256;  ///< slots per arena chunk
+  static constexpr std::uint32_t kNoFree = 0xffffffff;
+
+  struct Slot {
+    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+    void (*invoke)(Slot&) = nullptr;   ///< null when the slot is free
+    void (*destroy)(Slot&) = nullptr;  ///< null when destruction is trivial
+    void* heap = nullptr;              ///< callback location if too large
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoFree;
+  };
+  static_assert(sizeof(Slot) == 128);
+
+  /// 24-byte POD; the heap moves these, never the callbacks.
+  struct QueueEntry {
     Time time;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+
+  template <typename F, bool Inline>
+  static void invoke_impl(Slot& s) {
+    if constexpr (Inline) {
+      (*std::launder(reinterpret_cast<F*>(s.storage)))();
+    } else {
+      (*static_cast<F*>(s.heap))();
     }
-  };
+  }
+  template <typename F, bool Inline>
+  static void destroy_impl(Slot& s) {
+    if constexpr (Inline) {
+      std::launder(reinterpret_cast<F*>(s.storage))->~F();
+    } else {
+      delete static_cast<F*>(s.heap);
+      s.heap = nullptr;
+    }
+  }
+
+  /// Chunked so slots never move: callbacks run in place even if scheduling
+  /// inside a callback grows the arena.
+  [[nodiscard]] Slot& slot(std::uint32_t i) {
+    return chunks_[i / kChunkSize][i % kChunkSize];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t i) const {
+    return chunks_[i / kChunkSize][i % kChunkSize];
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoFree) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = slot(idx).next_free;
+      return idx;
+    }
+    if (num_slots_ % kChunkSize == 0) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+    return num_slots_++;
+  }
+
+  void release_slot(std::uint32_t idx) {
+    Slot& s = slot(idx);
+    s.invoke = nullptr;
+    s.destroy = nullptr;
+    s.next_free = free_head_;
+    free_head_ = idx;
+  }
+
+  void cancel(std::uint32_t idx, std::uint32_t generation) {
+    Slot& s = slot(idx);
+    if (s.generation != generation || s.invoke == nullptr) return;
+    if (s.destroy != nullptr) s.destroy(s);
+    ++s.generation;  // the queue entry surfaces later and is skipped
+    --live_;
+    release_slot(idx);
+    maybe_compact();
+  }
+
+  [[nodiscard]] bool slot_pending(std::uint32_t idx, std::uint32_t generation) const {
+    return idx < num_slots_ && slot(idx).generation == generation &&
+           slot(idx).invoke != nullptr;
+  }
+
+  static bool earlier(const QueueEntry& a, const QueueEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void heap_push(QueueEntry e) {
+    // Hole insertion: shift ancestors down, write the entry once.
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  /// Sift value \p v down from position i (the slot at i is treated as free;
+  /// v is taken by value because it may alias an element being overwritten).
+  void sift_down(std::size_t i, const QueueEntry v) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], v)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = v;
+  }
+
+  /// Remove heap_[0]; the heap must be non-empty.
+  void heap_pop() {
+    const QueueEntry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0, last);
+  }
+
+  /// Cancellation is lazy (entries are dropped when they surface), so a
+  /// timer-rearm-heavy workload — TCP RTO timers are cancelled on every ACK —
+  /// would otherwise grow the heap without bound and tax every sift. When
+  /// dead entries outnumber live ones 2:1, filter them out and re-heapify;
+  /// amortized O(1) per event, and the pop order of survivors is unchanged.
+  void maybe_compact() {
+    if (heap_.size() < 64 || heap_.size() < 2 * live_) return;
+    std::size_t out = 0;
+    for (const QueueEntry& e : heap_) {
+      if (slot(e.slot).generation == e.generation) heap_[out++] = e;
+    }
+    heap_.resize(out);
+    if (out > 1) {
+      for (std::size_t i = (out - 2) / 4 + 1; i-- > 0;) {
+        sift_down(i, heap_[i]);
+      }
+    }
+  }
+
+  /// Pop-and-fire the head entry (already checked against the time bound).
+  void fire_head();
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;
+  std::vector<QueueEntry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t num_slots_ = 0;
+  std::uint32_t free_head_ = kNoFree;
+  std::unordered_map<std::uint64_t, void*> rendezvous_;
 };
+
+template <typename F>
+EventHandle Engine::at(Time t, F&& fn) {
+  assert(t >= now_);
+  using Fn = std::decay_t<F>;
+  static_assert(std::is_invocable_v<Fn&>, "engine callbacks take no arguments");
+  constexpr bool kFits =
+      sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t);
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slot(idx);
+  if constexpr (kFits) {
+    ::new (static_cast<void*>(s.storage)) Fn(std::forward<F>(fn));
+  } else {
+    s.heap = new Fn(std::forward<F>(fn));
+  }
+  s.invoke = &invoke_impl<Fn, kFits>;
+  // Most model callbacks capture only pointers and scalars; skip the destroy
+  // call entirely for them (heap callbacks always need the delete).
+  if constexpr (kFits && std::is_trivially_destructible_v<Fn>) {
+    s.destroy = nullptr;
+  } else {
+    s.destroy = &destroy_impl<Fn, kFits>;
+  }
+  heap_push(QueueEntry{t, next_seq_++, idx, s.generation});
+  ++live_;
+  return EventHandle{this, idx, s.generation};
+}
+
+inline void EventHandle::cancel() {
+  if (engine_) engine_->cancel(slot_, generation_);
+}
+
+inline bool EventHandle::pending() const {
+  return engine_ && engine_->slot_pending(slot_, generation_);
+}
 
 }  // namespace dclue::sim

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Parallel sweep pool. Every figure in the paper is a sweep over independent
+/// configuration points (cluster size, router rate, DB scale factor, ...) and
+/// each point is a deterministic function of its ClusterConfig — so points
+/// can run concurrently, one Engine per worker thread, with results that are
+/// bit-identical to a serial sweep. Workers claim indices from a shared
+/// atomic counter (the simplest form of work stealing), which keeps long
+/// points from serializing behind short ones.
+///
+/// The knob is `REPRO_JOBS`: unset or "1" = serial (the default, so existing
+/// scripts behave exactly as before), N = N worker threads, "0" = one per
+/// hardware thread.
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace dclue::sim {
+
+/// Worker count from the REPRO_JOBS environment variable (see file comment).
+inline int sweep_jobs() {
+  const char* v = std::getenv("REPRO_JOBS");
+  if (v == nullptr || v[0] == '\0') return 1;
+  const int n = std::atoi(v);
+  if (n < 0) return 1;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return n;
+}
+
+/// Run body(i) for every i in [0, n). With jobs <= 1 the calls happen inline
+/// in index order; otherwise a pool of jthreads drains an atomic index
+/// counter. Each body call must be independent of the others (no shared
+/// mutable state) — the simulation library guarantees this per Engine.
+template <typename F>
+void parallel_for_n(std::size_t n, int jobs, F&& body) {
+  if (n == 0) return;
+  std::size_t workers = jobs <= 1 ? 1 : static_cast<std::size_t>(jobs);
+  if (workers > n) workers = n;
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&next, n, &body] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < n; i = next.fetch_add(1, std::memory_order_relaxed)) {
+          body(i);
+        }
+      });
+    }
+  }  // jthread joins here; all results are visible after this point
+}
+
+/// Map fn over [0, n) into a vector. Output order matches input order no
+/// matter how the work was scheduled, so sweep output is reproducible.
+template <typename R, typename F>
+std::vector<R> sweep_map(std::size_t n, int jobs, F&& fn) {
+  std::vector<R> out(n);
+  parallel_for_n(n, jobs, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace dclue::sim

@@ -1,0 +1,91 @@
+/// Serial vs parallel sweep determinism: a sweep point is a pure function of
+/// its ClusterConfig, so running the same grid on one worker and on several
+/// must produce bit-identical per-point metrics. This is the property that
+/// lets REPRO_JOBS>1 reproduce the paper's figures exactly.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace dclue::core {
+namespace {
+
+std::vector<ClusterConfig> small_grid() {
+  std::vector<ClusterConfig> cfgs;
+  for (int nodes : {1, 2, 3}) {
+    for (double affinity : {1.0, 0.5}) {
+      ClusterConfig cfg;
+      cfg.nodes = nodes;
+      cfg.affinity = affinity;
+      cfg.warmup = 1.0;
+      cfg.measure = 3.0;
+      cfg.seed = 11;
+      cfgs.push_back(cfg);
+    }
+  }
+  return cfgs;
+}
+
+#define EXPECT_FIELD_EQ(field) \
+  EXPECT_EQ(a.field, b.field) << "point " << i << " diverged in " #field
+
+void expect_identical(const RunReport& a, const RunReport& b, std::size_t i) {
+  EXPECT_FIELD_EQ(nodes);
+  EXPECT_FIELD_EQ(affinity);
+  EXPECT_FIELD_EQ(measure_seconds);
+  EXPECT_FIELD_EQ(tpmc);
+  EXPECT_FIELD_EQ(txn_rate);
+  EXPECT_FIELD_EQ(txns);
+  EXPECT_FIELD_EQ(ipc_control_per_txn);
+  EXPECT_FIELD_EQ(ipc_data_per_txn);
+  EXPECT_FIELD_EQ(control_msg_delay_ms);
+  EXPECT_FIELD_EQ(lock_waits_per_txn);
+  EXPECT_FIELD_EQ(lock_wait_time_ms);
+  EXPECT_FIELD_EQ(lock_failures_per_txn);
+  EXPECT_FIELD_EQ(buffer_hit_ratio);
+  EXPECT_FIELD_EQ(disk_reads_per_txn);
+  EXPECT_FIELD_EQ(remote_fetch_per_txn);
+  EXPECT_FIELD_EQ(avg_active_threads);
+  EXPECT_FIELD_EQ(avg_context_switch_cycles);
+  EXPECT_FIELD_EQ(avg_cpi);
+  EXPECT_FIELD_EQ(cpu_utilization);
+  EXPECT_FIELD_EQ(inter_lata_mbps);
+  EXPECT_FIELD_EQ(fabric_drops);
+  EXPECT_FIELD_EQ(abort_rate);
+  EXPECT_FIELD_EQ(txn_ms);
+  EXPECT_FIELD_EQ(txn_phase1_ms);
+  EXPECT_FIELD_EQ(txn_lock_ms);
+  EXPECT_FIELD_EQ(txn_log_ms);
+  EXPECT_FIELD_EQ(txn_apply_ms);
+  EXPECT_FIELD_EQ(ftp_carried_mbps);
+  EXPECT_FIELD_EQ(business_txns);
+  EXPECT_FIELD_EQ(admission_drops);
+  EXPECT_FIELD_EQ(client_conn_failures);
+}
+
+#undef EXPECT_FIELD_EQ
+
+TEST(SweepDeterminism, ParallelMatchesSerialBitForBit) {
+  const std::vector<ClusterConfig> cfgs = small_grid();
+  const std::vector<RunReport> serial = run_experiments(cfgs, /*jobs=*/1);
+  const std::vector<RunReport> parallel = run_experiments(cfgs, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i], i);
+  }
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
+  const std::vector<ClusterConfig> cfgs = small_grid();
+  const std::vector<RunReport> first = run_experiments(cfgs, /*jobs=*/3);
+  const std::vector<RunReport> second = run_experiments(cfgs, /*jobs=*/3);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    expect_identical(first[i], second[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace dclue::core

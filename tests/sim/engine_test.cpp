@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
 namespace dclue::sim {
@@ -98,6 +101,154 @@ TEST(Engine, ZeroDelayEventRunsAtCurrentTime) {
     e.after(0.0, [&] { EXPECT_EQ(e.now(), 1.0); });
   });
   e.run();
+}
+
+TEST(Engine, CancelOneOfManySameTimeEventsPreservesOrder) {
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(e.after(1.0, [&order, i] { order.push_back(i); }));
+  }
+  handles[3].cancel();
+  handles[6].cancel();
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 4, 5, 7}));
+}
+
+// A stale handle whose arena slot has been recycled by a newer event must
+// read "not pending" and must not be able to cancel the new tenant.
+TEST(Engine, StaleHandleCannotTouchRecycledSlot) {
+  Engine e;
+  int first = 0, second = 0;
+  EventHandle a = e.after(1.0, [&] { ++first; });
+  a.cancel();  // frees the slot; `a` keeps the old generation
+  EventHandle b = e.after(2.0, [&] { ++second; });  // reuses the slot
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  a.cancel();  // generation mismatch: must not cancel `b`
+  EXPECT_TRUE(b.pending());
+  e.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Engine, StaleHandleAfterFireCannotTouchRecycledSlot) {
+  Engine e;
+  int fired = 0;
+  EventHandle a = e.after(1.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EventHandle b = e.after(1.0, [&] { fired += 10; });  // reuses a's slot
+  a.cancel();
+  EXPECT_TRUE(b.pending());
+  e.run();
+  EXPECT_EQ(fired, 11);
+}
+
+// Cancelling your own handle from inside the callback must be a harmless
+// no-op (the event is already "fired"), not a use-after-free of the running
+// callback.
+TEST(Engine, CancelOwnHandleWhileFiringIsSafe) {
+  Engine e;
+  int fired = 0;
+  auto h = std::make_shared<EventHandle>();
+  *h = e.after(1.0, [&fired, h] {
+    EXPECT_FALSE(h->pending());
+    h->cancel();
+    ++fired;
+  });
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, LargeCaptureFallsBackToHeapAndFires) {
+  Engine e;
+  std::array<unsigned char, 512> blob{};
+  blob[0] = 42;
+  blob[511] = 7;
+  int seen = 0;
+  e.after(1.0, [blob, &seen] { seen = blob[0] + blob[511]; });
+  e.run();
+  EXPECT_EQ(seen, 49);
+}
+
+TEST(Engine, CancelledCallbackIsDestroyedImmediately) {
+  Engine e;
+  auto token = std::make_shared<int>(1);
+  EXPECT_EQ(token.use_count(), 1);
+  auto h = e.after(1.0, [token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  h.cancel();
+  EXPECT_EQ(token.use_count(), 1);  // destroyed at cancel, not at fire time
+  e.run();
+}
+
+TEST(Engine, LargeCancelledCallbackIsDestroyed) {
+  Engine e;
+  auto token = std::make_shared<int>(1);
+  std::array<unsigned char, 512> pad{};
+  auto h = e.after(1.0, [token, pad] { (void)pad; });
+  EXPECT_EQ(token.use_count(), 2);
+  h.cancel();
+  EXPECT_EQ(token.use_count(), 1);
+  e.run();
+}
+
+TEST(Engine, UnfiredCallbacksDestroyedWithEngine) {
+  auto token = std::make_shared<int>(1);
+  {
+    Engine e;
+    e.after(1.0, [token] {});
+    e.after(2.0, [token] {});
+    EXPECT_EQ(token.use_count(), 3);
+    // Engine destroyed with both events still scheduled.
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(Engine, PendingCountTracksScheduleFireCancel) {
+  Engine e;
+  EXPECT_EQ(e.events_pending(), 0u);
+  auto a = e.after(1.0, [] {});
+  auto b = e.after(2.0, [] {});
+  EXPECT_EQ(e.events_pending(), 2u);
+  a.cancel();
+  EXPECT_EQ(e.events_pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.events_pending(), 0u);
+  (void)b;
+}
+
+// Timer-rearm churn: many cancels per fire drives the lazy-deletion
+// compaction path; ordering and counts must survive it.
+TEST(Engine, RearmChurnKeepsOrderThroughCompaction) {
+  Engine e;
+  int fired = 0;
+  Time last_time = -1.0;
+  EventHandle timer;
+  std::function<void(int)> step = [&](int hop) {
+    EXPECT_GE(e.now(), last_time);
+    last_time = e.now();
+    ++fired;
+    timer.cancel();
+    timer = e.after(1e9, [] { FAIL() << "cancelled timer fired"; });
+    if (hop < 5000) e.after(0.25, [&step, hop] { step(hop + 1); });
+  };
+  e.after(0.0, [&step] { step(1); });
+  e.run_until(2000.0);
+  EXPECT_EQ(fired, 5000);
+  timer.cancel();
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+TEST(Engine, PerEngineIdsAreDeterministic) {
+  Engine a;
+  Engine b;
+  EXPECT_EQ(a.allocate_id(), 1u);
+  EXPECT_EQ(a.allocate_id(), 2u);
+  // A second engine's ids are independent of the first's history.
+  EXPECT_EQ(b.allocate_id(), 1u);
 }
 
 }  // namespace

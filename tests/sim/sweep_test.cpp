@@ -1,0 +1,64 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+namespace dclue::sim {
+namespace {
+
+TEST(Sweep, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 257;  // not a multiple of the worker count
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for_n(kN, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Sweep, SerialPathRunsInIndexOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_n(5, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sweep, MapKeepsInputOrderRegardlessOfJobs) {
+  auto square = [](std::size_t i) { return static_cast<int>(i * i); };
+  const std::vector<int> serial = sweep_map<int>(64, 1, square);
+  const std::vector<int> parallel = sweep_map<int>(64, 8, square);
+  EXPECT_EQ(serial, parallel);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(Sweep, MoreJobsThanItemsIsFine) {
+  const std::vector<int> out =
+      sweep_map<int>(3, 16, [](std::size_t i) { return static_cast<int>(i) + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Sweep, EmptyRangeIsANoOp) {
+  int calls = 0;
+  parallel_for_n(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(sweep_map<int>(0, 4, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(Sweep, JobsFromEnvironment) {
+  unsetenv("REPRO_JOBS");
+  EXPECT_EQ(sweep_jobs(), 1);
+  setenv("REPRO_JOBS", "6", 1);
+  EXPECT_EQ(sweep_jobs(), 6);
+  setenv("REPRO_JOBS", "1", 1);
+  EXPECT_EQ(sweep_jobs(), 1);
+  setenv("REPRO_JOBS", "0", 1);  // 0 = one worker per hardware thread
+  EXPECT_GE(sweep_jobs(), 1);
+  setenv("REPRO_JOBS", "-3", 1);  // nonsense falls back to serial
+  EXPECT_EQ(sweep_jobs(), 1);
+  unsetenv("REPRO_JOBS");
+}
+
+}  // namespace
+}  // namespace dclue::sim
