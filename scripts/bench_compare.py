@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_*.json against the committed baseline.
+
+Exit non-zero if any compared metric regresses by more than the tolerance
+(default 10%). Direction is inferred from the key name:
+
+  *_per_sec, *_per_sec_after, *speedup          higher is better
+  *allocs_per_segment_after, *events_per_segment  lower is better
+
+Config keys (workload sizes, event counts) and the *_before baselines baked
+into the binary are ignored: they describe the measurement, not the result.
+
+Throughput keys are machine-dependent, so CI gates on the deterministic
+metrics by default (--keys); a full comparison is available for same-machine
+before/after runs.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.10]
+                   [--keys key1 key2 ...]
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_SUFFIXES = ("_per_sec", "_per_sec_after", "speedup")
+LOWER_SUFFIXES = ("allocs_per_segment_after", "events_per_segment")
+
+
+def direction(key):
+    """Return +1 (higher is better), -1 (lower is better) or None (ignore)."""
+    if key.endswith("_before"):
+        return None
+    for suffix in LOWER_SUFFIXES:
+        if key.endswith(suffix):
+            return -1
+    for suffix in HIGHER_SUFFIXES:
+        if key.endswith(suffix):
+            return +1
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional regression (default 0.10)")
+    ap.add_argument("--keys", nargs="*", default=None,
+                    help="restrict the comparison to these keys")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    compared = 0
+    failures = []
+    for key, base_val in sorted(base.items()):
+        if not isinstance(base_val, (int, float)) or isinstance(base_val, bool):
+            continue
+        sign = direction(key)
+        if sign is None:
+            continue
+        if args.keys is not None and key not in args.keys:
+            continue
+        if key not in cur:
+            failures.append(f"{key}: present in baseline, missing from current")
+            continue
+        cur_val = cur[key]
+        compared += 1
+        if sign > 0:
+            floor = base_val * (1.0 - args.tolerance)
+            ok = cur_val >= floor
+            bound = f">= {floor:.4g}"
+        else:
+            ceiling = base_val * (1.0 + args.tolerance)
+            ok = cur_val <= ceiling
+            bound = f"<= {ceiling:.4g}"
+        status = "ok  " if ok else "FAIL"
+        print(f"  {status} {key}: baseline {base_val:.4g}, "
+              f"current {cur_val:.4g} (required {bound})")
+        if not ok:
+            failures.append(f"{key}: {base_val:.4g} -> {cur_val:.4g}")
+
+    if args.keys is not None:
+        missing = [k for k in args.keys if k not in base]
+        for k in missing:
+            failures.append(f"{k}: requested key absent from baseline")
+
+    if compared == 0 and not failures:
+        print("error: no comparable metric keys found", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"all {compared} compared metric(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@
 #include "core/metrics.hpp"
 #include "cpu/processor.hpp"
 #include "proto/channel.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/sync.hpp"
 
 namespace dclue::cluster {
@@ -50,8 +51,10 @@ class IpcService {
  public:
   /// Handler for incoming non-reply messages.
   using Handler = std::function<void(Envelope)>;
-  /// Charges path length to this node's CPUs.
-  using Charge = std::function<sim::Task<void>(sim::PathLength, cpu::JobClass)>;
+  /// Charges path length to this node's CPUs. Same inline-storage type as
+  /// net::CpuCharge so the node wiring passes one callable to both layers.
+  using Charge =
+      sim::InlineFn<sim::Task<void>(sim::PathLength, cpu::JobClass)>;
 
   IpcService(sim::Engine& engine, int node_id, core::NodeStats& stats,
              sim::PathLength handler_pl, Charge charge)

@@ -18,7 +18,11 @@ void Link::start_transmission() {
   }
   transmitting_ = true;
   busy_.set(engine_.now(), 1.0);
-  const sim::Duration tx = sim::transmission_time(pkt->bytes, rate_);
+  if (pkt->bytes != tx_memo_bytes_) {
+    tx_memo_bytes_ = pkt->bytes;
+    tx_memo_time_ = sim::transmission_time(pkt->bytes, rate_);
+  }
+  const sim::Duration tx = tx_memo_time_;
   bytes_sent_ += pkt->bytes;
   // Delivery happens after serialization plus propagation; the transmitter
   // frees up after serialization alone.

@@ -6,11 +6,11 @@
 /// the TCP layer, not here, so HW- vs SW-offload comparisons live in one
 /// place.
 
-#include <functional>
 #include <utility>
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "sim/inline_fn.hpp"
 
 namespace dclue::net {
 
@@ -25,7 +25,11 @@ class Nic : public PacketSink {
     uplink_->deliver(std::move(pkt));
   }
 
-  void set_rx_handler(std::function<void(Packet)> fn) { rx_ = std::move(fn); }
+  /// Inline-storage callable: the rx path runs once per delivered segment,
+  /// and the installed handler is always a captured stack pointer.
+  using RxHandler = sim::InlineFn<void(Packet)>;
+
+  void set_rx_handler(RxHandler fn) { rx_ = std::move(fn); }
 
   void deliver(Packet pkt) override {
     if (rx_) rx_(std::move(pkt));
@@ -34,7 +38,7 @@ class Nic : public PacketSink {
  private:
   Address address_;
   Link* uplink_;
-  std::function<void(Packet)> rx_;
+  RxHandler rx_;
 };
 
 }  // namespace dclue::net

@@ -12,10 +12,10 @@
 
 #include <array>
 #include <cmath>
-#include <deque>
 #include <optional>
 
 #include "net/packet.hpp"
+#include "sim/ring.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -113,7 +113,9 @@ class OutputQueue {
   int wred_verdict(std::size_t cls, const Packet& pkt);
 
   QosParams params_;
-  std::array<std::deque<Entry>, kNumDscp> queues_;
+  /// Ring-buffer FIFOs: packets only ever push_back/pop_front, and a ring
+  /// that has reached its working-set depth never allocates again.
+  std::array<sim::Ring<Entry>, kNumDscp> queues_;
   std::array<sim::Bytes, kNumDscp> bytes_{};
   std::array<double, kNumDscp> wfq_last_finish_{};
   double wfq_virtual_ = 0.0;
@@ -188,17 +190,16 @@ inline bool OutputQueue::enqueue(Packet pkt, sim::Time now) {
     ecn_marks_.add();
   }
 
-  Entry entry;
-  entry.pkt = std::move(pkt);
-  entry.pkt.enqueued_at = now;
+  pkt.enqueued_at = now;
+  double finish = 0.0;
   if (params_.scheduler == QueueScheduler::kWfq) {
     const double start = std::max(wfq_virtual_, wfq_last_finish_[cls]);
-    entry.wfq_finish = start + static_cast<double>(entry.pkt.bytes) /
-                                   std::max(params_.wfq_weight[cls], 1e-9);
-    wfq_last_finish_[cls] = entry.wfq_finish;
+    finish = start + static_cast<double>(pkt.bytes) /
+                         std::max(params_.wfq_weight[cls], 1e-9);
+    wfq_last_finish_[cls] = finish;
   }
-  bytes_[cls] += entry.pkt.bytes;
-  queues_[cls].push_back(std::move(entry));
+  bytes_[cls] += pkt.bytes;
+  queues_[cls].emplace_back(std::move(pkt), finish);
   return true;
 }
 
@@ -241,14 +242,15 @@ inline std::optional<Packet> OutputQueue::dequeue(sim::Time now) {
   int cls = next_class(now);
   if (cls < 0) return std::nullopt;
   auto& q = queues_[static_cast<std::size_t>(cls)];
-  Entry entry = std::move(q.front());
-  q.pop_front();
+  Entry& entry = q.front();  // move the packet straight out of the ring slot
   bytes_[static_cast<std::size_t>(cls)] -= entry.pkt.bytes;
   if (params_.scheduler == QueueScheduler::kWfq) {
     wfq_virtual_ = std::max(wfq_virtual_, entry.wfq_finish);
   }
   queue_delay_.add(now - entry.pkt.enqueued_at);
-  return std::move(entry.pkt);
+  std::optional<Packet> out(std::move(entry.pkt));
+  q.pop_front();
+  return out;
 }
 
 }  // namespace dclue::net

@@ -20,14 +20,14 @@ void Router::service_next() {
   }
   serving_ = true;
   busy_.set(engine_.now(), 1.0);
-  const sim::Duration service = 1.0 / params_.forwarding_rate_pps;
-  engine_.after(service, [this] {
+  engine_.after(service_interval_, [this] {
     Packet pkt = std::move(input_q_.front());
     input_q_.pop_front();
     fwd_delay_.add(engine_.now() - pkt.enqueued_at);
     forwarded_.add();
-    auto it = routes_.find(pkt.dst);
-    Link* out = it != routes_.end() ? it->second : default_route_;
+    const auto dst = static_cast<std::size_t>(pkt.dst);
+    Link* out = dst < routes_.size() && routes_[dst] ? routes_[dst]
+                                                     : default_route_;
     if (out) {
       if (params_.per_packet_latency > 0.0) {
         engine_.after(params_.per_packet_latency,

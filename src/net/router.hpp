@@ -7,12 +7,12 @@
 /// the forwarding rate is cut from 10000 to 4000 packets/sec.
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "sim/engine.hpp"
+#include "sim/ring.hpp"
 #include "sim/stats.hpp"
 
 namespace dclue::net {
@@ -29,10 +29,20 @@ struct RouterParams {
 class Router : public PacketSink {
  public:
   Router(sim::Engine& engine, std::string name, RouterParams params = {})
-      : engine_(engine), name_(std::move(name)), params_(params) {}
+      : engine_(engine),
+        name_(std::move(name)),
+        params_(params),
+        service_interval_(1.0 / params.forwarding_rate_pps) {}
 
   /// Attach an output link (one per port) and the addresses routed to it.
-  void add_route(Address dst, Link* out) { routes_[dst] = out; }
+  /// Addresses are small sequential integers, so the table is a flat vector
+  /// indexed by address — one bounds check per forwarded packet, no hashing.
+  void add_route(Address dst, Link* out) {
+    if (routes_.size() <= static_cast<std::size_t>(dst)) {
+      routes_.resize(static_cast<std::size_t>(dst) + 1, nullptr);
+    }
+    routes_[static_cast<std::size_t>(dst)] = out;
+  }
   void set_default_route(Link* out) { default_route_ = out; }
 
   void deliver(Packet pkt) override;
@@ -57,9 +67,10 @@ class Router : public PacketSink {
   sim::Engine& engine_;
   std::string name_;
   RouterParams params_;
-  std::unordered_map<Address, Link*> routes_;
+  sim::Duration service_interval_;  ///< 1 / forwarding rate, fixed at build
+  std::vector<Link*> routes_;
   Link* default_route_ = nullptr;
-  std::deque<Packet> input_q_;
+  sim::Ring<Packet> input_q_;
   bool serving_ = false;
   sim::Counter forwarded_;
   sim::Counter input_drops_;

@@ -39,34 +39,69 @@ TcpListener& TcpStack::listen(std::uint16_t port) {
   return *slot;
 }
 
-void TcpStack::on_packet(Packet pkt) { rx_process(std::move(pkt)); }
+void TcpStack::on_packet(Packet pkt) {
+  // Zero-cost fast path: when the receive charge is zero (hardware offload,
+  // microbenchmarks), awaiting it is a no-op by the charge contract (a zero
+  // path length must charge nothing — see core::make_charge), so the segment
+  // is processed fully synchronously with no coroutine frame at all.
+  const sim::PathLength cost =
+      costs_.per_segment_rx +
+      static_cast<double>(pkt.seg.len) * costs_.per_byte_rx;
+  if (cost == 0.0) {
+    rx_dispatch(pkt);
+    return;
+  }
+  rx_process(std::move(pkt));
+}
 
 sim::DetachedTask TcpStack::rx_process(Packet pkt) {
-  const auto& seg = pkt.seg;
   const sim::PathLength cost = costs_.per_segment_rx +
-                               static_cast<double>(seg.len) * costs_.per_byte_rx;
+                               static_cast<double>(pkt.seg.len) * costs_.per_byte_rx;
   co_await charge_(cost, cpu::JobClass::kInterrupt);
-  segments_received_.add();
+  rx_dispatch(pkt);
+}
 
-  auto it = connections_.find(seg.conn_id);
-  if (it == connections_.end()) {
-    if (seg.syn && !seg.is_ack) {
+void TcpStack::rx_dispatch(const Packet& pkt) {
+  segments_received_.add();
+  const auto& seg = pkt.seg;
+  // Consecutive segments almost always belong to the same connection, so a
+  // one-entry cache in front of the id map covers the bulk-transfer case.
+  // A raw pointer is safe across processing: closing a connection only
+  // schedules the map erase (remove_connection defers it through the engine
+  // precisely so in-flight processing finishes first).
+  if (seg.conn_id != last_conn_id_ || last_conn_ == nullptr) {
+    auto it = connections_.find(seg.conn_id);
+    if (it == connections_.end()) {
       // Passive open: rendezvous with a listener on the advertised port.
-      auto lit = listeners_.find(seg.dst_port);
-      if (lit == listeners_.end()) co_return;  // connection refused: ignore
-      auto conn = std::shared_ptr<TcpConnection>(new TcpConnection(
-          *this, seg.conn_id, pkt.src, pkt.dscp, /*active=*/false));
-      conn->listener_ = lit->second.get();
-      connections_[conn->id()] = conn;
-      co_await charge_(costs_.connection_setup, cpu::JobClass::kKernel);
-      conn->send_control(/*syn=*/true, /*ack=*/true);
-      conn->arm_rto();
+      // Anything else is a stale segment for a closed connection: ignore.
+      if (seg.syn && !seg.is_ack) accept_syn(pkt);
+      return;
     }
-    co_return;  // stale segment for a closed connection
+    last_conn_id_ = seg.conn_id;
+    last_conn_ = it->second.get();
   }
-  // Hold a reference: processing may close and unregister the connection.
-  auto conn = it->second;
-  conn->process_segment(seg);
+  last_conn_->process_segment(seg);
+}
+
+void TcpStack::accept_syn(const Packet& pkt) {
+  const auto& seg = pkt.seg;
+  auto lit = listeners_.find(seg.dst_port);
+  if (lit == listeners_.end()) return;  // connection refused: ignore
+  auto conn = std::shared_ptr<TcpConnection>(new TcpConnection(
+      *this, seg.conn_id, pkt.src, pkt.dscp, /*active=*/false));
+  conn->listener_ = lit->second.get();
+  connections_[conn->id()] = conn;
+  if (costs_.connection_setup == 0.0) {
+    conn->send_control(/*syn=*/true, /*ack=*/true);
+    conn->arm_rto();
+    return;
+  }
+  sim::spawn([](std::shared_ptr<TcpConnection> c,
+                sim::PathLength setup) -> sim::Task<void> {
+    co_await c->stack_.charge_(setup, cpu::JobClass::kKernel);
+    c->send_control(/*syn=*/true, /*ack=*/true);
+    c->arm_rto();
+  }(std::move(conn), costs_.connection_setup));
 }
 
 void TcpStack::emit(TcpConnection& conn, TcpSegment seg, sim::Bytes payload_len) {
@@ -82,7 +117,10 @@ void TcpStack::emit(TcpConnection& conn, TcpSegment seg, sim::Bytes payload_len)
 
 void TcpStack::remove_connection(std::uint64_t id) {
   // Defer so that any in-flight processing of this connection finishes first.
-  engine_.after(0.0, [this, id] { connections_.erase(id); });
+  engine_.after(0.0, [this, id] {
+    if (last_conn_id_ == id) last_conn_ = nullptr;
+    connections_.erase(id);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -107,6 +145,11 @@ TcpConnection::TcpConnection(TcpStack& stack, std::uint64_t id, Address peer,
 sim::Engine& TcpConnection::stack_engine() { return stack_.engine(); }
 
 void TcpConnection::start_handshake() {
+  if (stack_.costs().connection_setup == 0.0) {
+    send_control(/*syn=*/true, /*ack=*/false);
+    arm_rto();
+    return;
+  }
   auto self = shared_from_this();
   sim::spawn([](std::shared_ptr<TcpConnection> c) -> sim::Task<void> {
     co_await c->stack_.charge_(c->stack_.costs().connection_setup,
@@ -138,9 +181,19 @@ void TcpConnection::close() {
 sim::Task<void> TcpConnection::wait_all_acked() {
   const std::int64_t target = app_total_;
   if (snd_una_ >= target) co_return;
-  auto gate = std::make_unique<sim::Gate>(stack_.engine());
-  ack_waiters_.push_back({target, std::move(gate)});
-  co_await ack_waiters_.back().second->wait();
+  // Park this coroutine directly in the waiter vector; on_new_ack/do_reset
+  // resume it deferred through the engine, exactly as the per-waiter Gate
+  // this replaces did (same wakeup event, no allocation).
+  struct Awaiter {
+    TcpConnection& conn;
+    std::int64_t target;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      conn.ack_waiters_.push_back({target, h});
+    }
+    void await_resume() const noexcept {}
+  };
+  co_await Awaiter{*this, target};
 }
 
 void TcpConnection::transmit_pump_kick() {
@@ -165,8 +218,10 @@ sim::DetachedTask TcpConnection::transmit_pump() {
           const sim::PathLength cost =
               stack_.costs().per_segment_tx +
               static_cast<double>(len) * stack_.costs().per_byte_tx;
-          co_await stack_.charge_(cost, cpu::JobClass::kKernel);
-          if (state_ == State::kClosed) break;  // reset while charging
+          if (cost != 0.0) {
+            co_await stack_.charge_(cost, cpu::JobClass::kKernel);
+            if (state_ == State::kClosed) break;  // reset while charging
+          }
           const std::int64_t seq = snd_nxt_;
           snd_nxt_ += len;
           if (rtt_seq_ < 0) {
@@ -178,9 +233,11 @@ sim::DetachedTask TcpConnection::transmit_pump() {
           continue;
         }
       } else if (closing_requested_ && !fin_sent_ && snd_nxt_ == app_total_) {
-        co_await stack_.charge_(stack_.costs().per_segment_tx,
-                                cpu::JobClass::kKernel);
-        if (state_ == State::kClosed) break;
+        if (stack_.costs().per_segment_tx != 0.0) {
+          co_await stack_.charge_(stack_.costs().per_segment_tx,
+                                  cpu::JobClass::kKernel);
+          if (state_ == State::kClosed) break;
+        }
         fin_seq_ = snd_nxt_;
         snd_nxt_ += 1;  // FIN consumes one sequence number
         fin_sent_ = true;
@@ -232,6 +289,10 @@ std::int64_t TcpConnection::ack_value() const {
 void TcpConnection::send_ack_now() {
   delack_timer_.cancel();
   unacked_segments_ = 0;
+  if (stack_.costs().per_segment_tx == 0.0) {
+    send_control(/*syn=*/false, /*ack=*/true);
+    return;
+  }
   auto self = shared_from_this();
   sim::spawn([](std::shared_ptr<TcpConnection> c) -> sim::Task<void> {
     co_await c->stack_.charge_(c->stack_.costs().per_segment_tx,
@@ -247,10 +308,9 @@ void TcpConnection::maybe_delayed_ack() {
     return;
   }
   if (!delack_timer_.pending()) {
-    auto self = shared_from_this();
     delack_timer_ = stack_.engine().after(
-        stack_.params().delayed_ack(), [self] {
-          if (self->state_ != State::kClosed) self->send_ack_now();
+        stack_.params().delayed_ack(), [this] {
+          if (state_ != State::kClosed) send_ack_now();
         });
   }
 }
@@ -304,26 +364,28 @@ void TcpConnection::process_payload(const TcpSegment& seg) {
   }
   const bool was_in_order = (s <= rcv_nxt_ && e >= rcv_nxt_);
   if (e > rcv_nxt_ && seg.len > 0) {
-    // Merge [s, e) into the out-of-order interval set.
-    auto it = ooo_.lower_bound(s);
-    if (it != ooo_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second >= s) {
-        s = prev->first;
-        e = std::max(e, prev->second);
-        it = ooo_.erase(prev);
-      }
+    // Merge [s, e) into the sorted out-of-order range vector: absorb an
+    // overlapping-or-touching predecessor, then every successor the merged
+    // range reaches, and splice the result back in place.
+    std::size_t idx = 0;
+    while (idx < ooo_.size() && ooo_[idx].start < s) ++idx;
+    if (idx > 0 && ooo_[idx - 1].end >= s) {
+      --idx;
+      s = ooo_[idx].start;
+      e = std::max(e, ooo_[idx].end);
+      ooo_.erase_at(idx);
     }
-    while (it != ooo_.end() && it->first <= e) {
-      e = std::max(e, it->second);
-      it = ooo_.erase(it);
+    std::size_t last = idx;
+    while (last < ooo_.size() && ooo_[last].start <= e) {
+      e = std::max(e, ooo_[last].end);
+      ++last;
     }
-    ooo_[s] = e;
+    ooo_.erase_range(idx, last);
+    ooo_.insert_at(idx, {s, e});
     // Advance rcv_nxt through any now-contiguous prefix.
-    auto first = ooo_.begin();
-    if (first != ooo_.end() && first->first <= rcv_nxt_) {
-      rcv_nxt_ = std::max(rcv_nxt_, first->second);
-      ooo_.erase(first);
+    if (!ooo_.empty() && ooo_.front().start <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, ooo_.front().end);
+      ooo_.erase_at(0);
     }
   }
   // Deliver newly in-order payload to the application.
@@ -407,19 +469,18 @@ void TcpConnection::on_new_ack(std::int64_t acked_to) {
     }
   }
 
-  // Release senders waiting for full acknowledgement.
-  while (!ack_waiters_.empty()) {
-    bool released = false;
-    for (auto it = ack_waiters_.begin(); it != ack_waiters_.end(); ++it) {
-      if (it->first <= snd_una_) {
-        it->second->open();
-        ack_waiters_.erase(it);
-        released = true;
-        break;
-      }
+  // Release senders waiting for full acknowledgement: one compacting pass,
+  // resuming satisfied waiters in vector order (the order the erase-and-
+  // rescan loop this replaces released them in).
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < ack_waiters_.size(); ++i) {
+    if (ack_waiters_[i].target <= snd_una_) {
+      sim::detail::resume_via_engine(stack_.engine(), ack_waiters_[i].handle);
+    } else {
+      ack_waiters_[kept++] = ack_waiters_[i];
     }
-    if (!released) break;
   }
+  ack_waiters_.truncate(kept);
 
   if (flight() > 0) {
     arm_rto();
@@ -460,16 +521,20 @@ void TcpConnection::retransmit_at(std::int64_t seq) {
   const sim::Bytes len =
       is_fin ? 0
              : std::min<sim::Bytes>(stack_.params().mss, app_total_ - seq);
+  const sim::PathLength cost =
+      stack_.costs().per_segment_tx +
+      static_cast<double>(len) * stack_.costs().per_byte_tx;
+  if (cost == 0.0) {
+    send_segment(seq, len, is_fin);
+    return;
+  }
   auto self = shared_from_this();
   sim::spawn([](std::shared_ptr<TcpConnection> c, std::int64_t seq,
-                sim::Bytes len, bool fin) -> sim::Task<void> {
-    co_await c->stack_.charge_(
-        c->stack_.costs().per_segment_tx +
-            static_cast<double>(len) * c->stack_.costs().per_byte_tx,
-        cpu::JobClass::kKernel);
+                sim::Bytes len, bool fin, sim::PathLength cost) -> sim::Task<void> {
+    co_await c->stack_.charge_(cost, cpu::JobClass::kKernel);
     if (c->state_ == State::kClosed) co_return;
     c->send_segment(seq, len, fin);
-  }(self, seq, len, is_fin));
+  }(self, seq, len, is_fin, cost));
 }
 
 void TcpConnection::arm_rto() {
@@ -478,8 +543,8 @@ void TcpConnection::arm_rto() {
   sim::Duration timeout =
       std::min(rto_ * static_cast<double>(1 << std::min(rto_backoff_, 16)),
                p.max_rto());
-  auto self = shared_from_this();
-  rto_timer_ = stack_.engine().after(timeout, [self] { self->on_rto(); });
+  // Raw capture: cancelled by every teardown path and by ~TcpConnection.
+  rto_timer_ = stack_.engine().after(timeout, [this] { on_rto(); });
 }
 
 void TcpConnection::on_rto() {
@@ -516,7 +581,9 @@ void TcpConnection::do_reset() {
   delack_timer_.cancel();
   tx_signal_.notify();
   established_.open();  // unblock connect()ors; they must check state()
-  for (auto& [target, gate] : ack_waiters_) gate->open();
+  for (const AckWaiter& w : ack_waiters_) {
+    sim::detail::resume_via_engine(stack_.engine(), w.handle);
+  }
   ack_waiters_.clear();
   stack_.remove_connection(id_);
   for (auto& handler : reset_handlers_) handler();

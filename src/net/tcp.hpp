@@ -10,9 +10,9 @@
 /// a pluggable cost model, which is how HW-offloaded and SW ("kernel") TCP
 /// are compared in Fig 11.
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -21,6 +21,8 @@
 #include "net/nic.hpp"
 #include "net/packet.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
+#include "sim/small_vec.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -73,8 +75,15 @@ struct TcpCostModel {
 
 /// Charges protocol work to a host CPU; supplied by the node. The JobClass
 /// distinguishes interrupt-context receive work from kernel-context sends.
+/// Inline-storage callable: it is invoked once or twice per segment and the
+/// supplied charge always captures a processor pointer.
+///
+/// Contract: a zero path length must charge nothing (core::make_charge only
+/// computes when pl > 0). The stack relies on this and skips the coroutine
+/// machinery entirely for zero-cost operations, so hardware-offload
+/// configurations pay no per-segment frame overhead.
 using CpuCharge =
-    std::function<sim::Task<void>(sim::PathLength, cpu::JobClass)>;
+    sim::InlineFn<sim::Task<void>(sim::PathLength, cpu::JobClass)>;
 
 class TcpStack;
 class TcpListener;
@@ -85,12 +94,25 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
  public:
   enum class State { kSynSent, kSynReceived, kEstablished, kClosing, kClosed };
 
+  /// Pending timers capture a raw `this` (the per-ack RTO rearm is too hot
+  /// for shared_ptr refcount traffic), so they must never outlive the
+  /// connection: teardown paths cancel them, and this destructor backstops
+  /// any connection dropped without a clean teardown.
+  ~TcpConnection() {
+    rto_timer_.cancel();
+    delack_timer_.cancel();
+  }
+
   /// Queue \p n application bytes for transmission.
   void send(sim::Bytes n);
 
+  /// Handlers on the per-segment path use inline callable storage (see
+  /// sim/inline_fn.hpp); the cold-path reset/EOF callbacks stay std::function.
+  using RxHandler = sim::InlineFn<void(sim::Bytes)>;
+
   /// In-order payload bytes are delivered through this callback. Bytes that
   /// arrive before a handler is installed are buffered and flushed to it.
-  void set_rx_handler(std::function<void(sim::Bytes)> fn) {
+  void set_rx_handler(RxHandler fn) {
     rx_handler_ = std::move(fn);
     if (rx_handler_ && rx_buffered_ > 0) {
       sim::Bytes n = rx_buffered_;
@@ -186,18 +208,36 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   int consecutive_rto_ = 0;
   bool fin_sent_ = false;
   bool closing_requested_ = false;
+  /// A coroutine parked in wait_all_acked(): resumed (deferred through the
+  /// engine, like Gate) once snd_una_ reaches target. Value storage — the
+  /// per-waiter Gate heap allocation this replaces showed up on every
+  /// request/response exchange.
+  struct AckWaiter {
+    std::int64_t target;
+    std::coroutine_handle<> handle;
+  };
+
   sim::Signal tx_signal_;
   bool pump_running_ = false;
-  std::vector<std::pair<std::int64_t, std::unique_ptr<sim::Gate>>> ack_waiters_;
+  sim::SmallVec<AckWaiter, 4> ack_waiters_;
   std::int64_t fin_seq_ = -1;
   std::uint16_t syn_port_ = 0;
   TcpListener* listener_ = nullptr;
 
   // --- receiver ---------------------------------------------------------------
+  /// One out-of-order hole-bounded run of received bytes: [start, end).
+  struct SeqRange {
+    std::int64_t start;
+    std::int64_t end;
+  };
+
   std::int64_t rcv_nxt_ = 0;
   std::int64_t delivered_ = 0;
   sim::Bytes rx_buffered_ = 0;  ///< delivered before a handler existed
-  std::map<std::int64_t, std::int64_t> ooo_;  ///< out-of-order [start,end)
+  /// Out-of-order runs, sorted by start, disjoint and non-adjacent. Inline
+  /// small-vector: reassembly rarely tracks more than a few holes (was a
+  /// std::map — one heap node per hole on the loss path).
+  sim::SmallVec<SeqRange, 8> ooo_;
   int unacked_segments_ = 0;
   sim::EventHandle delack_timer_;
   bool peer_fin_ = false;
@@ -205,7 +245,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   bool fin_acked_ = false;
   bool ecn_echo_ = false;
 
-  std::function<void(sim::Bytes)> rx_handler_;
+  RxHandler rx_handler_;
   std::vector<std::function<void()>> reset_handlers_;
   std::function<void()> eof_handler_;
   bool eof_signaled_ = false;
@@ -255,6 +295,10 @@ class TcpStack {
   friend class TcpConnection;
   void on_packet(Packet pkt);
   sim::DetachedTask rx_process(Packet pkt);
+  /// Post-charge segment handling: demultiplex and drive the connection.
+  void rx_dispatch(const Packet& pkt);
+  /// Passive open for an unmatched SYN (charges connection setup).
+  void accept_syn(const Packet& pkt);
   void emit(TcpConnection& conn, TcpSegment seg, sim::Bytes payload_len);
   void remove_connection(std::uint64_t id);
 
@@ -265,6 +309,10 @@ class TcpStack {
   CpuCharge charge_;
   std::unordered_map<std::uint64_t, std::shared_ptr<TcpConnection>> connections_;
   std::unordered_map<std::uint16_t, std::unique_ptr<TcpListener>> listeners_;
+  /// One-entry demux cache (see rx_dispatch); last_conn_ is nulled when the
+  /// cached connection is unregistered.
+  std::uint64_t last_conn_id_ = 0;
+  TcpConnection* last_conn_ = nullptr;
   sim::Counter segments_sent_;
   sim::Counter segments_received_;
   sim::Counter retransmits_;

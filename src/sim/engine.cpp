@@ -25,8 +25,14 @@ void Engine::fire_head() {
   s.invoke(s);
   // The arena is chunked, so `s` is stable even if the callback scheduled new
   // events; the slot could not be recycled because it was not yet free.
-  if (s.destroy != nullptr) s.destroy(s);
-  release_slot(e.slot);
+  // Release inline (rather than via release_slot) to reuse the reference.
+  if (s.destroy != nullptr) {
+    s.destroy(s);
+    s.destroy = nullptr;
+  }
+  s.invoke = nullptr;
+  s.next_free = free_head_;
+  free_head_ = e.slot;
   ++executed_;
 }
 

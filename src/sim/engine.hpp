@@ -114,15 +114,20 @@ class Engine {
   static constexpr std::uint32_t kChunkSize = 256;  ///< slots per arena chunk
   static constexpr std::uint32_t kNoFree = 0xffffffff;
 
+  /// Dispatch metadata leads so the generation check, invoke pointer and the
+  /// first capture bytes of a small callback all land on the slot's first
+  /// cache line; the 96-byte capture area follows at offset 32 (still
+  /// max_align_t-aligned, so any inline callable is placed correctly).
   struct Slot {
-    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
     void (*invoke)(Slot&) = nullptr;   ///< null when the slot is free
     void (*destroy)(Slot&) = nullptr;  ///< null when destruction is trivial
     void* heap = nullptr;              ///< callback location if too large
     std::uint32_t generation = 0;
     std::uint32_t next_free = kNoFree;
+    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
   };
   static_assert(sizeof(Slot) == 128);
+  static_assert(offsetof(Slot, storage) % alignof(std::max_align_t) == 0);
 
   /// 24-byte POD; the heap moves these, never the callbacks.
   struct QueueEntry {
@@ -231,11 +236,36 @@ class Engine {
     heap_[i] = v;
   }
 
-  /// Remove heap_[0]; the heap must be non-empty.
+  /// Remove heap_[0]; the heap must be non-empty. Bottom-up variant: walk the
+  /// min-child path to a leaf unconditionally (3 comparisons per level), then
+  /// sift the displaced last element up from the vacated leaf. The last
+  /// element was itself a leaf, so the up-pass almost always stops after one
+  /// comparison — cheaper than comparing it against the min child on the way
+  /// down as the textbook pop does.
   void heap_pop() {
-    const QueueEntry last = heap_.back();
+    const std::size_t n = heap_.size() - 1;
+    const QueueEntry last = heap_[n];
     heap_.pop_back();
-    if (!heap_.empty()) sift_down(0, last);
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(last, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = last;
   }
 
   /// Cancellation is lazy (entries are dropped when they surface), so a

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file ring.hpp
+/// Power-of-two growable ring buffer: the FIFO behind every packet queue
+/// (router input queues, per-class QoS queues). `std::deque` pays a map of
+/// heap nodes and an indirection per access; steady-state packet flow is
+/// strictly push_back/pop_front, which a ring serves from one contiguous
+/// allocation with mask arithmetic. Growth doubles the capacity and
+/// re-packs elements in FIFO order, so after the warm-up transient a queue
+/// that has reached its working-set depth never allocates again.
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace dclue::sim {
+
+template <typename T>
+class Ring {
+ public:
+  Ring() = default;
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+  Ring(Ring&& other) noexcept
+      : buf_(std::exchange(other.buf_, nullptr)),
+        cap_(std::exchange(other.cap_, 0)),
+        head_(std::exchange(other.head_, 0)),
+        size_(std::exchange(other.size_, 0)) {}
+  Ring& operator=(Ring&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      buf_ = std::exchange(other.buf_, nullptr);
+      cap_ = std::exchange(other.cap_, 0);
+      head_ = std::exchange(other.head_, 0);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  ~Ring() { destroy(); }
+
+  void push_back(T v) {
+    if (size_ == cap_) grow();
+    ::new (static_cast<void*>(buf_ + ((head_ + size_) & (cap_ - 1))))
+        T(std::move(v));
+    ++size_;
+  }
+
+  /// Construct in place at the back (skips the move a push_back would do).
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* p = ::new (static_cast<void*>(buf_ + ((head_ + size_) & (cap_ - 1))))
+        T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  [[nodiscard]] T& front() { return buf_[head_]; }
+  [[nodiscard]] const T& front() const { return buf_[head_]; }
+
+  void pop_front() {
+    buf_[head_].~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  /// FIFO-order access: operator[](0) is the front.
+  [[nodiscard]] T& operator[](std::size_t i) {
+    return buf_[(head_ + i) & (cap_ - 1)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return buf_[(head_ + i) & (cap_ - 1)];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+  }
+
+ private:
+  void destroy() {
+    clear();
+    ::operator delete(static_cast<void*>(buf_),
+                      std::align_val_t{alignof(T)});
+    buf_ = nullptr;
+    cap_ = 0;
+  }
+
+  void grow() {
+    const std::size_t ncap = cap_ == 0 ? kInitialCapacity : cap_ * 2;
+    T* nbuf = static_cast<T*>(
+        ::operator new(ncap * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(nbuf + i))
+          T(std::move(buf_[(head_ + i) & (cap_ - 1)]));
+      buf_[(head_ + i) & (cap_ - 1)].~T();
+    }
+    ::operator delete(static_cast<void*>(buf_),
+                      std::align_val_t{alignof(T)});
+    buf_ = nbuf;
+    cap_ = ncap;
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  T* buf_ = nullptr;
+  std::size_t cap_ = 0;   ///< always 0 or a power of two
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dclue::sim

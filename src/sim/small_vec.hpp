@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file small_vec.hpp
+/// Inline small vector for trivially copyable elements. Used where the
+/// datapath keeps tiny ordered sets that were previously node-based
+/// containers: TCP out-of-order [start,end) hole ranges (was std::map — a
+/// heap node per hole) and per-connection ack waiters (was a vector of
+/// unique_ptr<Gate>). The common case (a handful of elements) lives
+/// entirely inside the owning object; only pathological depths spill to
+/// one heap block.
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace dclue::sim {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is restricted to trivially copyable elements");
+
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec& other) { assign(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear_storage();
+      assign(other);
+    }
+    return *this;
+  }
+  ~SmallVec() { clear_storage(); }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  /// Insert \p v before index \p pos (shifting the tail up).
+  void insert_at(std::size_t pos, const T& v) {
+    assert(pos <= size_);
+    if (size_ == cap_) grow(cap_ * 2);
+    std::memmove(data_ + pos + 1, data_ + pos, (size_ - pos) * sizeof(T));
+    data_[pos] = v;
+    ++size_;
+  }
+
+  /// Erase elements [first, last) by index.
+  void erase_range(std::size_t first, std::size_t last) {
+    assert(first <= last && last <= size_);
+    std::memmove(data_ + first, data_ + last, (size_ - last) * sizeof(T));
+    size_ -= last - first;
+  }
+
+  void erase_at(std::size_t pos) { erase_range(pos, pos + 1); }
+
+  /// Drop elements from index \p n to the end.
+  void truncate(std::size_t n) {
+    assert(n <= size_);
+    size_ = n;
+  }
+
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& front() { return data_[0]; }
+  [[nodiscard]] const T& front() const { return data_[0]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+ private:
+  void assign(const SmallVec& other) {
+    if (other.size_ > cap_) grow(other.size_);
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void grow(std::size_t ncap) {
+    if (ncap < 2 * N) ncap = 2 * N;
+    T* nbuf = static_cast<T*>(
+        ::operator new(ncap * sizeof(T), std::align_val_t{alignof(T)}));
+    std::memcpy(nbuf, data_, size_ * sizeof(T));
+    clear_heap();
+    data_ = nbuf;
+    cap_ = ncap;
+  }
+
+  void clear_heap() {
+    if (data_ != inline_data()) {
+      ::operator delete(static_cast<void*>(data_),
+                        std::align_val_t{alignof(T)});
+    }
+  }
+
+  void clear_storage() {
+    clear_heap();
+    data_ = inline_data();
+    cap_ = N;
+    size_ = 0;
+  }
+
+  [[nodiscard]] T* inline_data() {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace dclue::sim

@@ -8,11 +8,13 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace dclue::sim {
 
@@ -21,7 +23,21 @@ class Task;
 
 namespace detail {
 
-struct PromiseBase {
+/// Routes coroutine-frame allocation through the thread-local FramePool.
+/// Declared on the promise types, so the compiler's frame new/delete calls
+/// recycle frames instead of hitting malloc per spawned activity (the
+/// datapath creates several per simulated segment). The sized delete gives
+/// the pool the class back without a header.
+struct PooledFrame {
+  static void* operator new(std::size_t n) {
+    return FramePool::local().allocate(n);
+  }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::local().deallocate(p, n);
+  }
+};
+
+struct PromiseBase : PooledFrame {
   std::coroutine_handle<> continuation;
 
   struct FinalAwaiter {
@@ -132,7 +148,7 @@ class [[nodiscard]] Task<void> {
 /// destroys itself. An unhandled exception in detached model code is a bug in
 /// the model, so it terminates the process with the active exception visible.
 struct DetachedTask {
-  struct promise_type {
+  struct promise_type : detail::PooledFrame {
     DetachedTask get_return_object() { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }

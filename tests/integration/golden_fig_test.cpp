@@ -1,0 +1,98 @@
+/// Golden-output regression test: a miniature Fig-6-style scaling point (2
+/// nodes, affinity 0.8) must reproduce the committed fixture byte for byte.
+/// The datapath and engine refactors promise "memory behavior only, event
+/// ordering untouched" — this test is what turns a silently shifted figure
+/// into a CI failure.
+///
+/// To regenerate after an *intentional* model change, run with
+/// GOLDEN_UPDATE=1 and paste the block it prints into
+/// golden_fig06_fixture.inc (keep the raw-string delimiters).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace dclue::core {
+namespace {
+
+/// Every RunReport field, formatted with round-trip precision (%.17g): any
+/// double that differs in even the last bit changes the text.
+std::string format_report(const RunReport& r) {
+  std::string out;
+  char buf[128];
+  auto add = [&](const char* key, double v) {
+    std::snprintf(buf, sizeof buf, "%s=%.17g\n", key, v);
+    out += buf;
+  };
+  auto add_u = [&](const char* key, std::uint64_t v) {
+    std::snprintf(buf, sizeof buf, "%s=%llu\n", key,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  add("nodes", r.nodes);
+  add("affinity", r.affinity);
+  add("measure_seconds", r.measure_seconds);
+  add("tpmc", r.tpmc);
+  add("txn_rate", r.txn_rate);
+  add("txns", r.txns);
+  add("ipc_control_per_txn", r.ipc_control_per_txn);
+  add("ipc_data_per_txn", r.ipc_data_per_txn);
+  add("control_msg_delay_ms", r.control_msg_delay_ms);
+  add("lock_waits_per_txn", r.lock_waits_per_txn);
+  add("lock_wait_time_ms", r.lock_wait_time_ms);
+  add("lock_failures_per_txn", r.lock_failures_per_txn);
+  add("buffer_hit_ratio", r.buffer_hit_ratio);
+  add("disk_reads_per_txn", r.disk_reads_per_txn);
+  add("remote_fetch_per_txn", r.remote_fetch_per_txn);
+  add("avg_active_threads", r.avg_active_threads);
+  add("avg_context_switch_cycles", r.avg_context_switch_cycles);
+  add("avg_cpi", r.avg_cpi);
+  add("cpu_utilization", r.cpu_utilization);
+  add("inter_lata_mbps", r.inter_lata_mbps);
+  add_u("fabric_drops", r.fabric_drops);
+  add("abort_rate", r.abort_rate);
+  add("txn_ms", r.txn_ms);
+  add("txn_phase1_ms", r.txn_phase1_ms);
+  add("txn_lock_ms", r.txn_lock_ms);
+  add("txn_log_ms", r.txn_log_ms);
+  add("txn_apply_ms", r.txn_apply_ms);
+  add("ftp_carried_mbps", r.ftp_carried_mbps);
+  add("business_txns", r.business_txns);
+  add_u("admission_drops", r.admission_drops);
+  add_u("client_conn_failures", r.client_conn_failures);
+  return out;
+}
+
+constexpr const char* kFixture =
+#include "golden_fig06_fixture.inc"
+    ;  // NOLINT
+
+TEST(GoldenFig, TwoNodeScalingPointIsBitIdentical) {
+  // A fixed mini fig06 point: every field is pinned explicitly so the run is
+  // independent of REPRO_FAST and any default_config() evolution.
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.affinity = 0.8;
+  cfg.seed = 7;
+  cfg.warmup = 1.0;
+  cfg.measure = 4.0;
+
+  const RunReport r = run_experiment(cfg);
+  const std::string got = format_report(r);
+  if (std::getenv("GOLDEN_UPDATE") != nullptr) {
+    std::printf("--- GOLDEN_UPDATE: paste into golden_fig06_fixture.inc ---\n"
+                "R\"golden(\n%s)golden\"\n"
+                "--- end ---\n",
+                got.c_str());
+  }
+  EXPECT_EQ(std::string(kFixture), std::string("\n") + got)
+      << "metrics block diverged from the committed fixture; if the model "
+         "change is intentional, regenerate with GOLDEN_UPDATE=1";
+}
+
+}  // namespace
+}  // namespace dclue::core

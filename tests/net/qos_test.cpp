@@ -184,5 +184,78 @@ TEST(OutputQueue, QueuedBytesTracksOccupancy) {
   EXPECT_EQ(q.queued_bytes(), 100);
 }
 
+TEST(OutputQueue, WfqServesByVirtualFinishTimeNotArrival) {
+  QosParams p;
+  p.scheduler = QueueScheduler::kWfq;
+  p.wfq_weight = {1.0, 1.0};
+  OutputQueue q(p);
+  // A large best-effort packet arrives first (finish 3000), then two small
+  // AF21 packets (finishes 500 and 1000). WFQ serves by finish time, so the
+  // later small packets overtake the earlier large one — neither FIFO order
+  // nor strict priority explains this schedule.
+  q.enqueue(make_packet(3000, Dscp::kBestEffort), 0.0);
+  q.enqueue(make_packet(500, Dscp::kAF21), 0.0);
+  q.enqueue(make_packet(500, Dscp::kAF21), 0.0);
+  EXPECT_EQ(q.dequeue(1.0)->bytes, 500);
+  EXPECT_EQ(q.dequeue(1.0)->bytes, 500);
+  EXPECT_EQ(q.dequeue(1.0)->bytes, 3000);
+}
+
+TEST(OutputQueue, WfqWeightScalesFinishTimes) {
+  QosParams p;
+  p.scheduler = QueueScheduler::kWfq;
+  p.wfq_weight = {1.0, 4.0};  // AF21 finishes accrue 4x slower
+  OutputQueue q(p);
+  // Equal sizes: BE finish = 1000, AF finishes = 250, 500, 750. All three
+  // AF21 packets clear before the equally-sized best-effort one.
+  q.enqueue(make_packet(1000, Dscp::kBestEffort), 0.0);
+  for (int i = 0; i < 3; ++i) q.enqueue(make_packet(1000, Dscp::kAF21), 0.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(q.dequeue(1.0)->dscp, Dscp::kAF21);
+  }
+  EXPECT_EQ(q.dequeue(1.0)->dscp, Dscp::kBestEffort);
+}
+
+TEST(OutputQueue, TokenBucketRefillsAtConfiguredRate) {
+  QosParams p;
+  p.police[0] = TokenBucket{8000.0, 1000};  // 1000 bytes/sec, 1000 B burst
+  OutputQueue q(p);
+  // The full burst admits one 1000-byte packet and drains the bucket.
+  EXPECT_TRUE(q.enqueue(make_packet(1000, Dscp::kBestEffort), 0.0));
+  EXPECT_FALSE(q.enqueue(make_packet(1000, Dscp::kBestEffort), 0.0));
+  EXPECT_EQ(q.policed_drops().count(), 1u);
+  // Half a second refills only 500 bytes: still non-conforming.
+  EXPECT_FALSE(q.enqueue(make_packet(1000, Dscp::kBestEffort), 0.5));
+  // By t=1.6 the bucket has refilled past 1000 (capped at the burst size).
+  EXPECT_TRUE(q.enqueue(make_packet(1000, Dscp::kBestEffort), 1.6));
+  EXPECT_EQ(q.policed_drops().count(), 2u);
+  // The unpoliced class is never throttled.
+  EXPECT_TRUE(q.enqueue(make_packet(1000, Dscp::kAF21), 1.6));
+}
+
+TEST(OutputQueue, RingStorageSurvivesWrapAndGrowth) {
+  // Post-deque-swap regression: hold occupancy above the ring's initial
+  // capacity while cycling thousands of packets through, so the head index
+  // wraps repeatedly and the buffer grows mid-stream. FIFO order and byte
+  // accounting must hold throughout.
+  OutputQueue q;
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (next_in - next_out < 24) {
+      ASSERT_TRUE(
+          q.enqueue(make_packet(100 + (next_in % 7), Dscp::kBestEffort), 0.0));
+      ++next_in;
+    }
+    for (int k = 0; k < 8; ++k) {
+      auto pkt = q.dequeue(0.0);
+      ASSERT_TRUE(pkt.has_value());
+      EXPECT_EQ(pkt->bytes, 100 + (next_out % 7));
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(q.drops().count(), 0u);
+}
+
 }  // namespace
 }  // namespace dclue::net
