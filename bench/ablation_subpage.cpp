@@ -9,8 +9,10 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Ablation", "district sub-page (lock granularity) size");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("ablation_subpage", "Ablation",
+                        "district sub-page (lock granularity) size",
+                        "subpage_bytes", argc, argv);
   core::SeriesTable table("district sub-page bytes vs throughput & contention");
   table.add_column("subpage_B");
   table.add_column("tpmC_k");
@@ -20,13 +22,12 @@ int main() {
   const std::vector<double> sizes = bench::fast_mode()
                                         ? std::vector<double>{128, 8192}
                                         : std::vector<double>{96, 128, 512, 2048, 8192};
-  bench::Sweep sweep;
   for (double bytes : sizes) {
     core::ClusterConfig cfg = bench::base_config();
     cfg.nodes = 4;
     cfg.affinity = 0.5;  // cross-node traffic stretches lock hold times
     cfg.district_subpage_bytes = static_cast<sim::Bytes>(bytes);
-    sweep.add(cfg);
+    sweep.add(bytes, cfg);
   }
   sweep.run();
   for (std::size_t i = 0; i < sizes.size(); ++i) {

@@ -9,8 +9,10 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Ablation", "terminals/node: latency hiding vs cache thrash");
+int main(int argc, char** argv) {
+  bench::Scenario points("ablation_threads", "Ablation",
+                         "terminals/node: latency hiding vs cache thrash",
+                         "terminals_per_node", argc, argv);
   core::SeriesTable table("terminals vs throughput / threads / csw / CPI");
   table.add_column("terminals");
   table.add_column("tpmC_k");
@@ -21,13 +23,12 @@ int main() {
   const std::vector<double> sweep = bench::fast_mode()
                                         ? std::vector<double>{16, 48}
                                         : std::vector<double>{8, 16, 24, 36, 48, 72, 96};
-  bench::Sweep points;
   for (double terminals : sweep) {
     core::ClusterConfig cfg = bench::base_config();
     cfg.nodes = 2;
     cfg.affinity = 0.8;
     cfg.terminals_per_node = static_cast<int>(terminals);
-    points.add(cfg);
+    points.add(terminals, cfg);
   }
   points.run();
   for (std::size_t i = 0; i < sweep.size(); ++i) {

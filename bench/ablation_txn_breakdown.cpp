@@ -8,8 +8,10 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Ablation", "transaction latency budget vs affinity (8 nodes)");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("ablation_txn_breakdown", "Ablation",
+                        "transaction latency budget vs affinity (8 nodes)",
+                        "affinity", argc, argv);
   core::SeriesTable table("per-phase latency of an average transaction (ms)");
   table.add_column("affinity");
   table.add_column("total_ms");
@@ -21,12 +23,11 @@ int main() {
   const std::vector<double> affinities =
       bench::fast_mode() ? std::vector<double>{1.0, 0.5}
                          : std::vector<double>{1.0, 0.8, 0.5, 0.25, 0.0};
-  bench::Sweep sweep;
   for (double a : affinities) {
     core::ClusterConfig cfg = bench::base_config();
     cfg.nodes = 8;
     cfg.affinity = a;
-    sweep.add(cfg);
+    sweep.add(a, cfg);
   }
   sweep.run();
   for (std::size_t i = 0; i < affinities.size(); ++i) {

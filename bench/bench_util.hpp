@@ -1,12 +1,28 @@
 #pragma once
 
 /// Shared helpers for the figure-reproduction benches.
+///
+/// Every figure bench builds a bench::Scenario: it owns the banner, the
+/// sweep-point list, the run (parallel via REPRO_JOBS, or serial with a
+/// per-point tracer when --trace is given), and the RunReport JSON emission
+/// that scripts/check_report.py and scripts/bench_compare.py consume.
+///
+/// Command line (every fig/ablation/ext bench):
+///   --report[=PATH]   RunReport JSON path (default REPORT_<id>.json)
+///   --no-report       skip the RunReport file
+///   --trace[=PATH]    enable event tracing; Chrome trace JSON to PATH
+///                     (default TRACE_<id>.json). Points run serially so
+///                     each gets its own pid in the merged trace.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "sim/obs/trace.hpp"
+#include "sim/sweep.hpp"
 
 namespace dclue::bench {
 
@@ -27,36 +43,6 @@ inline core::ClusterConfig base_config() {
   return cfg;
 }
 
-/// Deferred sweep: benches enqueue every configuration point up front, run
-/// them all at once (concurrently when REPRO_JOBS > 1), then read the
-/// reports back by the index add() returned. Because each point is an
-/// independent deterministic simulation, the tables printed are identical
-/// whatever the worker count.
-class Sweep {
- public:
-  /// Queue a point; returns its index into the report vector.
-  std::size_t add(const core::ClusterConfig& cfg) {
-    cfgs_.push_back(cfg);
-    return cfgs_.size() - 1;
-  }
-
-  /// Run all queued points (honors REPRO_JOBS).
-  void run() { reports_ = core::run_experiments(cfgs_); }
-
-  /// Like run(), but each point averages \p replications seeds exactly as
-  /// run_experiment_avg does (which reseeds even when replications == 1).
-  void run_avg(int replications) {
-    reports_ = core::run_experiments_avg(cfgs_, replications);
-  }
-
-  const core::RunReport& operator[](std::size_t i) const { return reports_.at(i); }
-  [[nodiscard]] std::size_t size() const { return cfgs_.size(); }
-
- private:
-  std::vector<core::ClusterConfig> cfgs_;
-  std::vector<core::RunReport> reports_;
-};
-
 inline void banner(const char* fig, const char* what) {
   std::printf("=====================================================\n");
   std::printf("%s: %s\n", fig, what);
@@ -65,5 +51,163 @@ inline void banner(const char* fig, const char* what) {
   std::printf("=====================================================\n");
   std::fflush(stdout);
 }
+
+/// Internal deferred sweep for capacity-probe pre-passes (the open-loop
+/// benches measure closed-loop capacity first, then sweep at a fraction of
+/// it). Probe points do not belong in the figure's RunReport and are never
+/// traced — use Scenario for the reported sweep.
+class Sweep {
+ public:
+  std::size_t add(const core::ClusterConfig& cfg) {
+    cfgs_.push_back(cfg);
+    return cfgs_.size() - 1;
+  }
+  void run() { reports_ = core::run_experiments(cfgs_); }
+  void run_avg(int replications) {
+    reports_ = core::run_experiments_avg(cfgs_, replications);
+  }
+  const core::RunReport& operator[](std::size_t i) const {
+    return reports_.at(i);
+  }
+  [[nodiscard]] std::size_t size() const { return cfgs_.size(); }
+
+ private:
+  std::vector<core::ClusterConfig> cfgs_;
+  std::vector<core::RunReport> reports_;
+};
+
+/// One figure bench: banner + deferred sweep + observability wiring.
+///
+/// Benches enqueue every (axis value, configuration) point up front, run
+/// them all at once, then read the reports back by the index add() returned.
+/// Each point is an independent deterministic simulation, so the tables
+/// printed are identical whatever the worker count. After run()/run_avg()
+/// the Scenario writes the RunReport JSON (unless --no-report) and, when
+/// tracing, the merged Chrome trace.
+class Scenario {
+ public:
+  /// \p id names the output files (REPORT_<id>.json); \p fig / \p what feed
+  /// the banner; \p sweep_axis labels the report's axis column.
+  Scenario(std::string id, const char* fig, const char* what,
+           std::string sweep_axis, int argc = 0, char** argv = nullptr)
+      : id_(std::move(id)),
+        title_(std::string(fig) + ": " + what),
+        sweep_axis_(std::move(sweep_axis)),
+        report_path_("REPORT_" + id_ + ".json") {
+    banner(fig, what);
+    for (int i = 1; i < argc; ++i) parse_arg(argv[i]);
+  }
+
+  [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
+
+  /// Queue a point; returns its index into the report vector.
+  std::size_t add(double axis_value, const core::ClusterConfig& cfg) {
+    axis_values_.push_back(axis_value);
+    cfgs_.push_back(cfg);
+    return cfgs_.size() - 1;
+  }
+
+  /// Run all queued points (honors REPRO_JOBS; serial when tracing) and
+  /// emit the report/trace files.
+  void run() {
+    run_with([](const core::ClusterConfig& cfg, std::size_t) {
+      return core::run_experiment(cfg);
+    });
+  }
+
+  /// Like run(), but each point averages \p replications seeds exactly as
+  /// run_experiment_avg does (which reseeds even when replications == 1).
+  void run_avg(int replications) {
+    run_with([replications](const core::ClusterConfig& cfg, std::size_t) {
+      return core::run_experiment_avg(cfg, replications);
+    });
+  }
+
+  /// Run every queued point through a custom runner — for benches that drive
+  /// a Cluster by hand (e.g. crash/recovery). \p run_one takes
+  /// (const core::ClusterConfig&, std::size_t point_index) and returns the
+  /// point's RunReport; side outputs can be stored by index. Points run
+  /// through the sweep pool normally, serially (with a per-point tracer
+  /// installed) under --trace.
+  template <typename RunFn>
+  void run_with(RunFn&& run_one) {
+    if (tracing()) {
+      obs::Tracer merged;
+      std::size_t total_events = 0;
+      reports_.reserve(cfgs_.size());
+      for (std::size_t i = 0; i < cfgs_.size(); ++i) {
+        obs::Tracer point_tracer(static_cast<std::uint32_t>(i));
+        obs::TracerScope scope(&point_tracer);
+        reports_.push_back(run_one(cfgs_[i], i));
+        total_events += point_tracer.size();
+        merged.append(point_tracer);
+      }
+      if (!merged.write_json(trace_path_)) {
+        std::fprintf(stderr, "%s: failed to write %s\n", id_.c_str(),
+                     trace_path_.c_str());
+        std::exit(1);
+      }
+      std::printf("wrote %s (%zu events)\n", trace_path_.c_str(),
+                  total_events);
+    } else {
+      reports_ = sim::sweep_map<core::RunReport>(
+          cfgs_.size(), sim::sweep_jobs(),
+          [&](std::size_t i) { return run_one(cfgs_[i], i); });
+    }
+    emit();
+  }
+
+  const core::RunReport& operator[](std::size_t i) const {
+    return reports_.at(i);
+  }
+  [[nodiscard]] std::size_t size() const { return cfgs_.size(); }
+
+ private:
+  void parse_arg(const char* arg) {
+    if (std::strcmp(arg, "--no-report") == 0) {
+      report_path_.clear();
+    } else if (std::strcmp(arg, "--report") == 0) {
+      report_path_ = "REPORT_" + id_ + ".json";
+    } else if (std::strncmp(arg, "--report=", 9) == 0) {
+      report_path_ = arg + 9;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      trace_path_ = "TRACE_" + id_ + ".json";
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path_ = arg + 8;
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown option '%s' "
+                   "(expected --report[=PATH] | --no-report | --trace[=PATH])\n",
+                   id_.c_str(), arg);
+      std::exit(2);
+    }
+  }
+
+  void emit() {
+    if (report_path_.empty()) return;
+    std::vector<core::ReportPoint> points;
+    points.reserve(reports_.size());
+    for (std::size_t i = 0; i < reports_.size(); ++i) {
+      points.push_back(core::ReportPoint{axis_values_[i], cfgs_[i], reports_[i]});
+    }
+    if (!core::write_run_report(report_path_, id_, title_, sweep_axis_,
+                                points)) {
+      std::fprintf(stderr, "%s: failed to write %s\n", id_.c_str(),
+                   report_path_.c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %s (%zu points)\n", report_path_.c_str(), points.size());
+    std::fflush(stdout);
+  }
+
+  std::string id_;
+  std::string title_;
+  std::string sweep_axis_;
+  std::string report_path_;  ///< empty = --no-report
+  std::string trace_path_;   ///< empty = tracing off
+  std::vector<double> axis_values_;
+  std::vector<core::ClusterConfig> cfgs_;
+  std::vector<core::RunReport> reports_;
+};
 
 }  // namespace dclue::bench

@@ -24,8 +24,10 @@ core::ClusterConfig scenario() {
 }
 }  // namespace
 
-int main() {
-  bench::banner("Extension", "QoS schemes beyond the paper (its future work)");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("ext_qos_future", "Extension",
+                        "QoS schemes beyond the paper (its future work)",
+                        "scheme_index", argc, argv);
   core::SeriesTable table(
       "QoS scheme vs DBMS throughput and FTP service (FTP 400 Mb/s offered)");
   table.add_column("scheme");
@@ -38,13 +40,12 @@ int main() {
   const double rate = 0.92 * (cap.txn_rate / 8.0) / kTxnsPerBt;
   const double ftp_mbps = bench::fast_mode() ? 100.0 : 400.0;
 
-  bench::Sweep sweep;
   std::vector<const char*> names;
   auto add_scheme = [&](const char* name, auto configure) {
     core::ClusterConfig cfg = scenario();
     cfg.open_loop_bt_rate_per_node = rate;
     configure(cfg);
-    sweep.add(cfg);
+    sweep.add(static_cast<double>(names.size()), cfg);
     names.push_back(name);
   };
 

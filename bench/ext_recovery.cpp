@@ -13,8 +13,10 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Extension", "recovery time vs logging scheme (Fig 9's flip side)");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("ext_recovery", "Extension",
+                        "recovery time vs logging scheme (Fig 9's flip side)",
+                        "nodes", argc, argv);
   core::SeriesTable table("nodes x logging: throughput AND recovery time");
   table.add_column("nodes");
   table.add_column("scheme");  // 0 = local, 1 = central
@@ -25,35 +27,51 @@ int main() {
   table.add_column("redo_s");
   table.add_column("log_KB");
 
-  const std::vector<int> sweep =
+  const std::vector<int> sweep_nodes =
       bench::fast_mode() ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8};
-  for (int nodes : sweep) {
+  for (int nodes : sweep_nodes) {
     for (bool central : {false, true}) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = nodes;
       cfg.affinity = 0.8;
       cfg.central_logging = central;
-      core::Cluster cluster(cfg);
-      core::CheckpointManager ckpt(cluster, /*interval=*/8.0);
-      ckpt.start();
-      core::RunReport r = cluster.run();
+      sweep.add(nodes, cfg);
+    }
+  }
 
-      // Crash a non-log node and recover it on the live fabric.
-      core::RecoveryReport rec;
-      bool done = false;
-      sim::spawn([](core::Cluster& c, core::RecoveryReport& out,
-                    bool& done) -> sim::Task<void> {
-        out = co_await core::run_recovery(c, /*failed_node=*/1);
-        done = true;
-      }(cluster, rec, done));
-      // Advance in small steps; the rest of the cluster keeps running.
-      for (int step = 0; step < 40 && !done; ++step) {
-        cluster.engine().run_until(cluster.engine().now() + 25.0);
-      }
-      if (!done) std::fprintf(stderr, "warning: recovery did not converge\n");
+  // Each point: steady-state run with a checkpointer, then crash a non-log
+  // node and recover it on the live fabric.
+  std::vector<core::RecoveryReport> recoveries(sweep.size());
+  sweep.run_with([&recoveries](const core::ClusterConfig& cfg, std::size_t i) {
+    core::Cluster cluster(cfg);
+    core::CheckpointManager ckpt(cluster, /*interval=*/8.0);
+    ckpt.start();
+    core::RunReport r = cluster.run();
 
+    core::RecoveryReport rec;
+    bool done = false;
+    sim::spawn([](core::Cluster& c, core::RecoveryReport& out,
+                  bool& done) -> sim::Task<void> {
+      out = co_await core::run_recovery(c, /*failed_node=*/1);
+      done = true;
+    }(cluster, rec, done));
+    // Advance in small steps; the rest of the cluster keeps running.
+    for (int step = 0; step < 40 && !done; ++step) {
+      cluster.engine().run_until(cluster.engine().now() + 25.0);
+    }
+    if (!done) std::fprintf(stderr, "warning: recovery did not converge\n");
+    recoveries[i] = rec;
+    return r;
+  });
+
+  std::size_t k = 0;
+  for (int nodes : sweep_nodes) {
+    for (bool central : {false, true}) {
+      const core::RunReport& r = sweep[k];
+      const core::RecoveryReport& rec = recoveries[k];
+      ++k;
       // Report recovery durations in unscaled seconds.
-      const double s = cfg.scale;
+      const double s = bench::base_config().scale;
       table.add_row({static_cast<double>(nodes), central ? 1.0 : 0.0,
                      r.tpmc / 1000.0, rec.total_seconds / s, rec.gather_seconds / s,
                      rec.merge_seconds / s, rec.redo_seconds / s,

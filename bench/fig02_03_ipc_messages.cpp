@@ -8,17 +8,18 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Fig 2 / Fig 3", "IPC messages per transaction vs nodes");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("fig02_03_ipc_messages", "Fig 2 / Fig 3",
+                        "IPC messages per transaction vs nodes", "nodes", argc,
+                        argv);
   const std::vector<double> affinities = {0.8, 0.0};
 
-  bench::Sweep sweep;
   for (double affinity : affinities) {
     for (int nodes : bench::node_sweep()) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = nodes;
       cfg.affinity = affinity;
-      sweep.add(cfg);
+      sweep.add(nodes, cfg);
     }
   }
   sweep.run();

@@ -7,8 +7,10 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Fig 4 / Fig 5", "lock waits/txn and lock wait time vs nodes");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("fig04_05_lock_waits", "Fig 4 / Fig 5",
+                        "lock waits/txn and lock wait time vs nodes", "nodes",
+                        argc, argv);
   core::SeriesTable waits("Fig 4: lock waits per transaction");
   core::SeriesTable times("Fig 5: lock wait time (ms, unscaled)");
   const std::vector<double> affinities = {0.8, 0.5, 0.0};
@@ -21,13 +23,12 @@ int main() {
     times.add_column(buf);
   }
 
-  bench::Sweep sweep;
   for (int nodes : bench::node_sweep()) {
     for (double a : affinities) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = nodes;
       cfg.affinity = a;
-      sweep.add(cfg);
+      sweep.add(nodes, cfg);
     }
   }
   // Lock statistics are the noisiest series in the paper; average a few

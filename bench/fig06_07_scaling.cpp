@@ -8,8 +8,10 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Fig 6 / Fig 7", "throughput scaling vs nodes and affinity");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("fig06_07_scaling", "Fig 6 / Fig 7",
+                        "throughput scaling vs nodes and affinity", "nodes",
+                        argc, argv);
 
   const std::vector<double> fig6_affinities = {1.0, 0.8, 0.5, 0.0};
   const std::vector<int> fig7_nodes = bench::fast_mode()
@@ -19,13 +21,12 @@ int main() {
       bench::fast_mode() ? std::vector<double>{1.0, 0.8, 0.5, 0.0}
                          : std::vector<double>{1.0, 0.9, 0.8, 0.65, 0.5, 0.25, 0.0};
 
-  bench::Sweep sweep;
   for (int nodes : bench::node_sweep()) {
     for (double a : fig6_affinities) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = nodes;
       cfg.affinity = a;
-      sweep.add(cfg);
+      sweep.add(nodes, cfg);
     }
   }
   for (double a : fig7_affinities) {
@@ -33,7 +34,7 @@ int main() {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = n;
       cfg.affinity = a;
-      sweep.add(cfg);
+      sweep.add(n, cfg);
     }
   }
   sweep.run();

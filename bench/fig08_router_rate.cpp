@@ -7,8 +7,10 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Fig 8", "router forwarding rate vs scalability (single LATA)");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("fig08_router_rate", "Fig 8",
+                        "router forwarding rate vs scalability (single LATA)",
+                        "nodes", argc, argv);
   core::SeriesTable table("Fig 8: tpm-C (thousands) vs nodes, single LATA");
   table.add_column("nodes");
   table.add_column("10000 pps");
@@ -17,14 +19,13 @@ int main() {
       bench::fast_mode() ? std::vector<int>{2, 4, 8} : std::vector<int>{2, 4, 6, 8, 10, 12};
   const std::vector<double> rates = {10'000.0, 4'000.0};
 
-  bench::Sweep sweep;
   for (int nodes : nodes_sweep) {
     for (double pps : rates) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = nodes;
       cfg.affinity = 0.8;
       cfg.router_pps_at_scale100 = pps;
-      sweep.add(cfg);
+      sweep.add(nodes, cfg);
     }
   }
   sweep.run();

@@ -6,8 +6,10 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Fig 9", "single-node logging vs local logging");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("fig09_central_logging", "Fig 9",
+                        "single-node logging vs local logging", "nodes", argc,
+                        argv);
   core::SeriesTable table("Fig 9: tpm-C (thousands) vs nodes");
   table.add_column("nodes");
   table.add_column("local log");
@@ -16,14 +18,13 @@ int main() {
                                            ? std::vector<int>{2, 4, 8}
                                            : std::vector<int>{2, 4, 8, 12, 16, 24};
 
-  bench::Sweep sweep;
   for (int nodes : sweep_nodes) {
     for (bool central : {false, true}) {
       core::ClusterConfig cfg = bench::base_config();
       cfg.nodes = nodes;
       cfg.affinity = 0.8;
       cfg.central_logging = central;
-      sweep.add(cfg);
+      sweep.add(nodes, cfg);
     }
   }
   sweep.run();

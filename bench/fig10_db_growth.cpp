@@ -7,8 +7,10 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Fig 10", "sub-linear DB growth vs TPC-C linear sizing");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("fig10_db_growth", "Fig 10",
+                        "sub-linear DB growth vs TPC-C linear sizing", "nodes",
+                        argc, argv);
   core::SeriesTable table("Fig 10: tpm-C (thousands) vs nodes");
   table.add_column("nodes");
   table.add_column("linear DB");
@@ -18,7 +20,6 @@ int main() {
                                            ? std::vector<int>{2, 4, 8}
                                            : std::vector<int>{2, 4, 8, 12, 16, 24};
 
-  bench::Sweep sweep;
   std::vector<std::int64_t> sqrt_wh;
   for (int nodes : sweep_nodes) {
     for (auto growth : {core::DbGrowth::kLinear, core::DbGrowth::kSqrtBeyond90k}) {
@@ -27,7 +28,7 @@ int main() {
       cfg.affinity = 0.8;
       cfg.growth = growth;
       if (growth == core::DbGrowth::kSqrtBeyond90k) sqrt_wh.push_back(cfg.warehouses());
-      sweep.add(cfg);
+      sweep.add(nodes, cfg);
     }
   }
   sweep.run();

@@ -9,8 +9,10 @@
 
 using namespace dclue;
 
-int main() {
-  bench::banner("Fig 11", "TCP and iSCSI offload vs affinity (8 nodes)");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("fig11_offload", "Fig 11",
+                        "TCP and iSCSI offload vs affinity (8 nodes)",
+                        "affinity", argc, argv);
   core::SeriesTable table("Fig 11: tpm-C (thousands) by stack and affinity");
   table.add_column("affinity");
   table.add_column("HW TCP+iSCSI");
@@ -23,7 +25,6 @@ int main() {
   const Case cases[] = {{true, true}, {true, false}, {false, false}};
   const std::vector<double> affinities = {1.0, 0.8, 0.5};
 
-  bench::Sweep sweep;
   for (double a : affinities) {
     for (const Case& c : cases) {
       core::ClusterConfig cfg = bench::base_config();
@@ -31,7 +32,7 @@ int main() {
       cfg.affinity = a;
       cfg.hw_tcp = c.hw_tcp;
       cfg.hw_iscsi = c.hw_iscsi;
-      sweep.add(cfg);
+      sweep.add(a, cfg);
     }
   }
   sweep.run();

@@ -33,8 +33,10 @@ constexpr double kAffinities[] = {0.8, 0.5};
 
 }  // namespace
 
-int main() {
-  bench::banner("Fig 12 / Fig 13", "inter-LATA latency impact, 2 LATAs x 4 nodes");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("fig12_13_latency", "Fig 12 / Fig 13",
+                        "inter-LATA latency impact, 2 LATAs x 4 nodes",
+                        "extra_latency_ms", argc, argv);
   const std::vector<double> latencies =
       bench::fast_mode() ? std::vector<double>{0.0, 1.0}
                          : std::vector<double>{0.0, 0.5, 1.0, 2.0};
@@ -58,14 +60,13 @@ int main() {
   }
 
   // Pass 2: open-loop latency sweep for both figures.
-  bench::Sweep sweep;
   for (std::size_t ci = 0; ci < 2; ++ci) {
     for (double ms : latencies) {
       for (std::size_t ai = 0; ai < 2; ++ai) {
         core::ClusterConfig cfg = scenario(kAffinities[ai], kComps[ci]);
         cfg.open_loop_bt_rate_per_node = open_rate[ci][ai];
         cfg.extra_inter_lata_latency = ms * 1e-3;
-        sweep.add(cfg);
+        sweep.add(ms, cfg);
       }
     }
   }

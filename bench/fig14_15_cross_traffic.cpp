@@ -30,8 +30,10 @@ core::ClusterConfig scenario(double comp) {
 }
 }  // namespace
 
-int main() {
-  bench::banner("Fig 14 / Fig 15", "FTP cross traffic impact, 2 LATAs x 4 nodes");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("fig14_15_cross_traffic", "Fig 14 / Fig 15",
+                        "FTP cross traffic impact, 2 LATAs x 4 nodes",
+                        "ftp_offered_mbps", argc, argv);
   const std::vector<double> loads = bench::fast_mode()
                                         ? std::vector<double>{0, 100}
                                         : std::vector<double>{0, 100, 200, 400, 600};
@@ -45,7 +47,6 @@ int main() {
     rate[ci] = 0.92 * (probes[ci].txn_rate / 8.0) / kTxnsPerBt;
   }
 
-  bench::Sweep sweep;
   for (std::size_t ci = 0; ci < 2; ++ci) {
     for (double mbps : loads) {
       for (bool priority : {false, true}) {
@@ -53,7 +54,7 @@ int main() {
         cfg.open_loop_bt_rate_per_node = rate[ci];
         cfg.ftp.offered_load_mbps = mbps;
         cfg.ftp.high_priority = priority;
-        sweep.add(cfg);
+        sweep.add(mbps, cfg);
       }
     }
   }

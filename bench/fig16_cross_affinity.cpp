@@ -23,8 +23,10 @@ core::ClusterConfig base_for(double affinity) {
 }
 }  // namespace
 
-int main() {
-  bench::banner("Fig 16", "cross traffic impact vs affinity (low comp)");
+int main(int argc, char** argv) {
+  bench::Scenario sweep("fig16_cross_affinity", "Fig 16",
+                        "cross traffic impact vs affinity (low comp)",
+                        "affinity", argc, argv);
   core::SeriesTable table("Fig 16: tpm-C(k) and drop% vs affinity, FTP@AF21 100Mb/s");
   table.add_column("affinity");
   table.add_column("no FTP");
@@ -40,7 +42,6 @@ int main() {
   for (double a : affinities) probes.add(base_for(a));
   probes.run();
 
-  bench::Sweep sweep;
   for (std::size_t ai = 0; ai < affinities.size(); ++ai) {
     const double rate = 0.92 * (probes[ai].txn_rate / 8.0) / kTxnsPerBt;
     for (double mbps : {0.0, 100.0}) {
@@ -48,7 +49,7 @@ int main() {
       cfg.open_loop_bt_rate_per_node = rate;
       cfg.ftp.offered_load_mbps = mbps;
       cfg.ftp.high_priority = true;
-      sweep.add(cfg);
+      sweep.add(affinities[ai], cfg);
     }
   }
   sweep.run();

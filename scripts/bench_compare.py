@@ -1,10 +1,16 @@
 #!/usr/bin/env python3
-"""Compare a freshly generated BENCH_*.json against the committed baseline.
+"""Compare a freshly generated benchmark JSON against a baseline.
+
+Accepts two input shapes behind one comparison loop:
+  - flat BENCH_*.json key/value files from the micro benches, and
+  - dclue.run_report.v1 REPORT_*.json files from the figure benches (each
+    sweep point's report block is flattened to "p<i>.<field>" keys, so two
+    runs of the same sweep compare point by point).
 
 Exit non-zero if any compared metric regresses by more than the tolerance
 (default 10%). Direction is inferred from the key name:
 
-  *_per_sec, *_per_sec_after, *speedup          higher is better
+  *_per_sec, *_per_sec_after, *speedup, *tpmc     higher is better
   *allocs_per_segment_after, *events_per_segment  lower is better
 
 Config keys (workload sizes, event counts) and the *_before baselines baked
@@ -23,8 +29,20 @@ import argparse
 import json
 import sys
 
-HIGHER_SUFFIXES = ("_per_sec", "_per_sec_after", "speedup")
+HIGHER_SUFFIXES = ("_per_sec", "_per_sec_after", "speedup", "tpmc")
 LOWER_SUFFIXES = ("allocs_per_segment_after", "events_per_segment")
+
+
+def flatten(doc):
+    """Flatten a dclue.run_report.v1 document into comparable flat keys;
+    pass flat BENCH_*.json documents through unchanged."""
+    if not (isinstance(doc, dict) and doc.get("schema") == "dclue.run_report.v1"):
+        return doc
+    flat = {}
+    for i, point in enumerate(doc.get("points", [])):
+        for key, value in point.get("report", {}).items():
+            flat[f"p{i}.{key}"] = value
+    return flat
 
 
 def direction(key):
@@ -51,9 +69,9 @@ def main():
     args = ap.parse_args()
 
     with open(args.baseline) as f:
-        base = json.load(f)
+        base = flatten(json.load(f))
     with open(args.current) as f:
-        cur = json.load(f)
+        cur = flatten(json.load(f))
 
     compared = 0
     failures = []

@@ -13,6 +13,15 @@ ctest --test-dir build 2>&1 | tee "$OUT/test_output.txt"
 for b in build/bench/*; do
   name="$(basename "$b")"
   echo "=== $name ==="
-  "$b" | tee "$OUT/$name.txt"
+  case "$name" in
+    micro_*|*.json)
+      # Micro benches have their own output files; skip stray artifacts.
+      [ -x "$b" ] && "$b" | tee "$OUT/$name.txt"
+      ;;
+    *)
+      "$b" --report="$OUT/REPORT_$name.json" | tee "$OUT/$name.txt"
+      ;;
+  esac
 done
+python3 scripts/check_report.py "$OUT"/REPORT_*.json
 echo "All outputs in $OUT/"

@@ -11,9 +11,9 @@ FusionLayer::FusionLayer(FusionDeps deps) : d_(std::move(deps)) {
 void FusionLayer::note_remote(db::PageId page) {
   const auto t = static_cast<std::size_t>(page >> 60) & 15;
   if ((page >> 55) & 1) {
-    ++d_.stats->remote_index_by_table[t];
+    d_.stats->remote_index_by_table[t].record();
   } else {
-    ++d_.stats->remote_by_table[t];
+    d_.stats->remote_by_table[t].record();
   }
 }
 
@@ -52,30 +52,30 @@ void FusionLayer::register_handlers() {
 
 sim::Task<void> FusionLayer::access_page(db::PageId page, bool exclusive,
                                          int storage_home, bool allocate) {
-  struct Gauge {
-    int* g;
-    explicit Gauge(int* p) : g(p) { ++*g; }
-    ~Gauge() { --*g; }
+  struct StageGauge {
+    obs::Gauge* g;
+    explicit StageGauge(obs::Gauge* p) : g(p) { g->record_delta(1.0); }
+    ~StageGauge() { g->record_delta(-1.0); }
   } gauge(&d_.stats->in_fusion);
   const db::PageMode mode =
       exclusive ? db::PageMode::kExclusive : db::PageMode::kShared;
   for (int attempt = 0; attempt < 8; ++attempt) {
     if (d_.cache->contains(page, mode)) {
       d_.cache->touch(page);
-      d_.stats->buffer_hits.add();
+      d_.stats->buffer_hits.record();
       co_return;
     }
     // Coalesce concurrent fetches of the same page.
     auto it = inflight_.find(page);
     if (it != inflight_.end()) {
       auto gate = it->second;
-      ++d_.stats->in_inflight_wait;
+      d_.stats->in_inflight_wait.record_delta(1.0);
       co_await gate->wait();
-      --d_.stats->in_inflight_wait;
+      d_.stats->in_inflight_wait.record_delta(-1.0);
       continue;  // re-check mode; the in-flight fetch may have been shared
     }
     const bool upgrade_only = d_.cache->resident(page) && exclusive;
-    d_.stats->buffer_misses.add();
+    d_.stats->buffer_misses.record();
     auto gate = std::make_shared<sim::Gate>(*d_.engine);
     inflight_[page] = gate;
     co_await d_.charge(d_.pl.buffer_miss, cpu::JobClass::kApplication);
@@ -107,10 +107,10 @@ sim::Task<void> FusionLayer::fetch_miss(db::PageId page, bool exclusive,
           result.supplier, kBlockForward,
           std::make_shared<BlockForwardBody>(
               BlockForwardBody{page, d_.node_id, data_req}));
-      ++d_.stats->in_block_wait;
+      d_.stats->in_block_wait.record_delta(1.0);
       co_await d_.ipc->await_reply(data_req);
-      --d_.stats->in_block_wait;
-      d_.stats->remote_fetches.add();
+      d_.stats->in_block_wait.record_delta(-1.0);
+      d_.stats->remote_fetches.record();
       note_remote(page);
       co_return;
     }
@@ -121,15 +121,15 @@ sim::Task<void> FusionLayer::fetch_miss(db::PageId page, bool exclusive,
     // non-trivial temporaries inside co_await call expressions.
     auto req_body = std::make_shared<DirRequestBody>(
         DirRequestBody{page, exclusive, upgrade_only, data_req});
-    ++d_.stats->in_dir_rpc;
+    d_.stats->in_dir_rpc.record_delta(1.0);
     auto reply_any = co_await d_.ipc->rpc(home, kDirRequest, req_body);
-    --d_.stats->in_dir_rpc;
+    d_.stats->in_dir_rpc.record_delta(-1.0);
     auto reply = std::static_pointer_cast<DirReplyBody>(reply_any);
     if (!upgrade_only && reply->has_supplier) {
-      ++d_.stats->in_block_wait;
+      d_.stats->in_block_wait.record_delta(1.0);
       co_await d_.ipc->await_reply(data_req);
-      --d_.stats->in_block_wait;
-      d_.stats->remote_fetches.add();
+      d_.stats->in_block_wait.record_delta(-1.0);
+      d_.stats->remote_fetches.record();
       note_remote(page);
       // "A eventually informs B of successful retrieval."
       d_.ipc->send_control(home, kDirConfirm,
@@ -151,25 +151,25 @@ sim::Task<void> FusionLayer::fetch_miss(db::PageId page, bool exclusive,
 }
 
 sim::Task<void> FusionLayer::disk_fetch(db::PageId page, int storage_home) {
-  struct Gauge {
-    int* g;
-    explicit Gauge(int* p) : g(p) { ++*g; }
-    ~Gauge() { --*g; }
+  struct StageGauge {
+    obs::Gauge* g;
+    explicit StageGauge(obs::Gauge* p) : g(p) { g->record_delta(1.0); }
+    ~StageGauge() { g->record_delta(-1.0); }
   } gauge(&d_.stats->in_disk);
-  d_.stats->disk_reads.add();
+  d_.stats->disk_reads.record();
   {
     const auto t = static_cast<std::size_t>(page >> 60) & 15;
     if (db::is_index_page(page)) {
-      ++d_.stats->disk_index_by_table[t];
+      d_.stats->disk_index_by_table[t].record();
     } else {
-      ++d_.stats->disk_by_table[t];
+      d_.stats->disk_by_table[t].record();
     }
   }
   if (storage_home == d_.node_id || d_.num_nodes == 1) {
     co_await d_.charge(d_.pl.local_io, cpu::JobClass::kKernel);
     co_await d_.data_disk->read(block_address(page), db::kPageBytes);
   } else {
-    d_.stats->iscsi_reads.add();
+    d_.stats->iscsi_reads.record();
     co_await d_.iscsi[static_cast<std::size_t>(storage_home)]->read(
         block_address(page), db::kPageBytes);
   }

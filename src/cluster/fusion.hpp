@@ -15,7 +15,7 @@
 #include "cluster/directory.hpp"
 #include "cluster/ipc.hpp"
 #include "core/config.hpp"
-#include "core/metrics.hpp"
+#include "core/node_stats.hpp"
 #include "db/buffer_cache.hpp"
 #include "db/lock_manager.hpp"
 #include "db/mvcc.hpp"

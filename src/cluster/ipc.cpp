@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/obs/trace.hpp"
+
 namespace dclue::cluster {
 
 void IpcService::attach_peer(int peer, std::shared_ptr<proto::MsgChannel> channel) {
@@ -13,8 +15,11 @@ void IpcService::send_control(int dst, IpcType type, std::shared_ptr<void> body,
                               std::uint64_t req_id) {
   auto it = peers_.find(dst);
   assert(it != peers_.end());
-  stats_.ipc_control_sent.add();
-  stats_.ipc_control_bytes += kControlMsgBytes;
+  stats_.ipc_control_sent.record();
+  stats_.ipc_control_bytes.record(kControlMsgBytes);
+  sent_by_type_[static_cast<std::size_t>(type)].record();
+  DCLUE_TRACE_INSTANT("ipc", ipc_type_name(type), engine_.now(),
+                      static_cast<std::uint32_t>(node_id_));
   proto::Message msg;
   msg.type = type;
   msg.bytes = kControlMsgBytes;
@@ -26,8 +31,11 @@ void IpcService::send_data(int dst, IpcType type, sim::Bytes bytes,
                            std::shared_ptr<void> body, std::uint64_t req_id) {
   auto it = peers_.find(dst);
   assert(it != peers_.end());
-  stats_.ipc_data_sent.add();
-  stats_.ipc_data_bytes += bytes;
+  stats_.ipc_data_sent.record();
+  stats_.ipc_data_bytes.record(static_cast<std::uint64_t>(bytes));
+  sent_by_type_[static_cast<std::size_t>(type)].record();
+  DCLUE_TRACE_INSTANT("ipc", ipc_type_name(type), engine_.now(),
+                      static_cast<std::uint32_t>(node_id_));
   proto::Message msg;
   msg.type = type;
   msg.bytes = bytes;
@@ -72,7 +80,7 @@ sim::DetachedTask IpcService::reader_loop(int peer,
     // application processing; TCP per-segment costs were already charged).
     co_await charge_(handler_pl_, cpu::JobClass::kKernel);
     if (msg.bytes <= kControlMsgBytes) {
-      stats_.control_msg_delay.add(engine_.now() - msg.sent_at);
+      stats_.control_msg_delay.record(engine_.now() - msg.sent_at);
     }
     auto env = std::static_pointer_cast<Envelope>(msg.payload);
     dispatch(std::move(*env), msg.type);

@@ -8,13 +8,14 @@
 /// CPUs, on top of the TCP costs charged by the stack — both the "overhead"
 /// the paper's Fig 11 measures.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
-#include "core/metrics.hpp"
+#include "core/node_stats.hpp"
 #include "cpu/processor.hpp"
 #include "proto/channel.hpp"
 #include "sim/inline_fn.hpp"
@@ -39,6 +40,27 @@ enum IpcType : std::uint32_t {
 
 inline constexpr sim::Bytes kControlMsgBytes = 250;
 inline constexpr sim::Bytes kBlockBaseBytes = 8192;
+
+/// One slot per IpcType (values start at 1; slot 0 is unused).
+inline constexpr std::size_t kNumIpcTypes = 13;
+
+[[nodiscard]] constexpr const char* ipc_type_name(std::uint32_t type) {
+  switch (type) {
+    case kDirRequest:    return "dir_request";
+    case kDirReply:      return "dir_reply";
+    case kBlockForward:  return "block_forward";
+    case kBlockTransfer: return "block_transfer";
+    case kDirConfirm:    return "dir_confirm";
+    case kDirEvict:      return "dir_evict";
+    case kInvalidate:    return "invalidate";
+    case kLockAcquire:   return "lock_acquire";
+    case kLockReply:     return "lock_reply";
+    case kLockRelease:   return "lock_release";
+    case kLogFlush:      return "log_flush";
+    case kLogFlushAck:   return "log_flush_ack";
+    default:             return "unknown";
+  }
+}
 
 /// Correlation envelope carried by every IPC message.
 struct Envelope {
@@ -94,6 +116,17 @@ class IpcService {
   [[nodiscard]] bool connected_to(int peer) const {
     return peers_.contains(peer);
   }
+  [[nodiscard]] std::uint64_t sent_of_type(IpcType type) const {
+    return sent_by_type_[static_cast<std::size_t>(type)].count();
+  }
+
+  /// Bind the per-message-class send counters (the cache-fusion / lock /
+  /// log traffic mix) under \p prefix ("node0.ipc.sent.").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    for (std::uint32_t t = 1; t < kNumIpcTypes; ++t) {
+      reg.bind(prefix + ipc_type_name(t), &sent_by_type_[t]);
+    }
+  }
 
  private:
   sim::DetachedTask reader_loop(int peer, std::shared_ptr<proto::MsgChannel> ch);
@@ -114,6 +147,7 @@ class IpcService {
   std::unordered_map<IpcType, Handler> handlers_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_req_id_ = 1;
+  std::array<obs::Counter, kNumIpcTypes> sent_by_type_;
 };
 
 }  // namespace dclue::cluster

@@ -22,6 +22,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), rngs_(cfg_.seed) {
   build_nodes();
   build_clients();
   build_cross_traffic();
+  register_metrics();
 }
 
 Cluster::~Cluster() = default;
@@ -200,10 +201,35 @@ sim::DetachedTask Cluster::version_gc_loop() {
   }
 }
 
+void Cluster::register_metrics() {
+  for (auto& node : nodes_) node->register_metrics(registry_);
+  topo_->register_metrics(registry_);
+  for (std::size_t i = 0; i < ftp_clients_.size(); ++i) {
+    ftp_clients_[i]->register_metrics(
+        registry_, "ftp.client" + std::to_string(i) + ".");
+  }
+  // Terminal fleets accumulate over the whole run (business_txns includes
+  // warmup by design), so they join as sampled gauges, never reset.
+  for (std::size_t h = 0; h < fleets_.size(); ++h) {
+    const std::string p = "client" + std::to_string(h) + ".";
+    workload::TerminalFleet* fleet = fleets_[h].get();
+    registry_.gauge_fn(p + "business_txns", [fleet] {
+      return static_cast<double>(fleet->business_txns_completed());
+    });
+    registry_.gauge_fn(p + "admission_drops", [fleet] {
+      return static_cast<double>(fleet->admission_drops());
+    });
+    registry_.gauge_fn(p + "connection_failures", [fleet] {
+      return static_cast<double>(fleet->connection_failures());
+    });
+  }
+}
+
 void Cluster::reset_all_stats() {
-  for (auto& node : nodes_) node->reset_stats();
-  topo_->reset_stats();
-  for (auto& ftp : ftp_clients_) ftp->reset_stats();
+  // One reset surface: bound collectors reset directly, subsystems with
+  // internal per-instance stats (topology access links, disk-array
+  // spindles) restart through their registered reset hooks.
+  registry_.reset_window(engine_.now());
 }
 
 void Cluster::prewarm() {
@@ -282,9 +308,9 @@ RunReport Cluster::collect(sim::Duration measured) {
   double committed = 0, aborted = 0, new_orders = 0;
   double ctrl = 0, data = 0;
   double lock_acq = 0, lock_waits = 0, lock_failures = 0;
-  sim::Tally lock_wait_all, ctrl_delay_all;
+  obs::Tally lock_wait_all, ctrl_delay_all;
   double hits = 0, misses = 0, disk_reads = 0, remote = 0;
-  sim::Tally t_total, t_phase1, t_locks, t_log, t_apply;
+  obs::Tally t_total, t_phase1, t_locks, t_log, t_apply;
   double threads = 0, csw = 0, cpi = 0, util = 0;
   for (auto& node : nodes_) {
     auto& s = node->stats();
@@ -357,6 +383,8 @@ RunReport Cluster::collect(sim::Duration measured) {
   for (auto& ftp : ftp_clients_) ftp_bytes += ftp->bytes_carried();
   r.ftp_carried_mbps =
       static_cast<double>(ftp_bytes) * 8.0 / measured / 1e6 * cfg_.scale;
+
+  r.registry = registry_.snapshot(engine_.now());
   return r;
 }
 

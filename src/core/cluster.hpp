@@ -10,7 +10,8 @@
 #include <vector>
 
 #include "core/config.hpp"
-#include "core/metrics.hpp"
+#include "core/node_stats.hpp"
+#include "core/report.hpp"
 #include "core/node.hpp"
 #include "db/tpcc_schema.hpp"
 #include "net/topology.hpp"
@@ -41,11 +42,18 @@ class Cluster {
   [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
   [[nodiscard]] net::Topology& topology() { return *topo_; }
 
+  /// The one registration / reset / snapshot surface for every collector in
+  /// this cluster. Populated at construction; run() resets its window at the
+  /// warmup boundary and collect() attaches its snapshot to the RunReport.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return registry_; }
+
  private:
   void build_topology();
   void build_nodes();
   void build_clients();
   void build_cross_traffic();
+  void register_metrics();
   void prewarm();
   sim::DetachedTask connect_everything();
   sim::DetachedTask version_gc_loop();
@@ -65,6 +73,7 @@ class Cluster {
   std::vector<std::unique_ptr<proto::FtpClient>> ftp_clients_;
   std::unique_ptr<sim::Gate> ready_;
   std::uint64_t global_clock_ = 1;
+  obs::MetricsRegistry registry_;
 };
 
 }  // namespace dclue::core

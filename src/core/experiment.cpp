@@ -42,6 +42,9 @@ RunReport run_experiment_avg(ClusterConfig cfg, int replications) {
     avg.nodes = one.nodes;
     avg.affinity = one.affinity;
     avg.measure_seconds = one.measure_seconds;
+    // Scalars blend; the registry snapshot is kept from the last replication
+    // (averaging arbitrary metric kinds is not meaningful).
+    avg.registry = std::move(one.registry);
   }
   return avg;
 }

@@ -10,7 +10,7 @@
 
 #include "core/cluster.hpp"
 #include "core/config.hpp"
-#include "core/metrics.hpp"
+#include "core/report.hpp"
 
 namespace dclue::core {
 

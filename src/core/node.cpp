@@ -179,4 +179,30 @@ void Node::reset_stats() {
   log_disk_->reset_stats();
 }
 
+void Node::register_metrics(obs::MetricsRegistry& reg) {
+  const std::string p = "node" + std::to_string(id_) + ".";
+  stats_.register_into(reg, id_);
+  proc_->register_metrics(reg, p + "cpu.");
+  tcp_->register_metrics(reg, p + "tcp.");
+  ipc_->register_metrics(reg, p + "ipc.sent.");
+  locks_->register_metrics(reg, p + "lock.");
+  data_disk_->register_metrics(reg, p + "disk.data.");
+  log_disk_->register_metrics(reg, p + "disk.log.");
+  reg.gauge_fn(p + "cache.pages",
+               [this] { return static_cast<double>(cache_->size()); });
+  reg.gauge_fn(p + "cache.capacity_pages",
+               [this] { return static_cast<double>(cache_->capacity()); });
+  reg.gauge_fn(p + "cache.hit_ratio", [this] {
+    const double hits = static_cast<double>(stats_.buffer_hits.count());
+    const double total =
+        hits + static_cast<double>(stats_.buffer_misses.count());
+    return total > 0.0 ? hits / total : 0.0;
+  });
+  reg.gauge_fn(p + "mem.loaded_latency_s",
+               [this] { return mem_->loaded_memory_latency_s(); });
+  reg.gauge_fn(p + "mem.dbus_utilization",
+               [this] { return mem_->data_bus_utilization(); });
+  reg.gauge_fn(p + "mem.blended_mpi", [this] { return mem_->blended_mpi(); });
+}
+
 }  // namespace dclue::core

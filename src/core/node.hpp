@@ -14,7 +14,7 @@
 #include "cluster/fusion.hpp"
 #include "cluster/ipc.hpp"
 #include "core/config.hpp"
-#include "core/metrics.hpp"
+#include "core/node_stats.hpp"
 #include "cpu/memory_system.hpp"
 #include "cpu/processor.hpp"
 #include "db/buffer_cache.hpp"
@@ -67,8 +67,13 @@ class Node {
   [[nodiscard]] cluster::DirectoryService& directory() { return *directory_; }
   [[nodiscard]] storage::DiskArray& data_disk() { return *data_disk_; }
   [[nodiscard]] NodeStats& stats() { return stats_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
 
   void reset_stats();
+
+  /// Bind every collector this node owns (stats, CPU, TCP, IPC classes,
+  /// lock table, disks, cache and memory-system gauges) under "node<id>.".
+  void register_metrics(obs::MetricsRegistry& reg);
 
  private:
   sim::DetachedTask ipc_accept(int peer, net::TcpListener& listener);

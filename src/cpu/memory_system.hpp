@@ -16,7 +16,7 @@
 
 #include "cpu/params.hpp"
 #include "sim/engine.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/stats.hpp"
 
 namespace dclue::cpu {
 

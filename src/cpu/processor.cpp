@@ -6,14 +6,14 @@ namespace dclue::cpu {
 
 void Processor::thread_activated() {
   ++active_threads_;
-  active_threads_tw_.set(engine_.now(), active_threads_);
+  active_threads_tw_.record(engine_.now(), active_threads_);
   mem_.set_active_threads(active_threads_);
 }
 
 void Processor::thread_deactivated() {
   assert(active_threads_ > 0);
   --active_threads_;
-  active_threads_tw_.set(engine_.now(), active_threads_);
+  active_threads_tw_.record(engine_.now(), active_threads_);
   mem_.set_active_threads(active_threads_);
 }
 
@@ -22,13 +22,28 @@ void Processor::reset_stats() {
   busy_time_.reset(engine_.now());
   csw_cost_.reset();
   csw_count_.reset();
-  instr_executed_ = 0.0;
-  cycles_executed_ = 0.0;
+  instr_executed_.reset();
+  cycles_executed_.reset();
+}
+
+void Processor::register_metrics(obs::MetricsRegistry& reg,
+                                 const std::string& prefix) {
+  reg.bind(prefix + "busy_cores", &busy_time_);
+  reg.bind(prefix + "active_threads", &active_threads_tw_);
+  reg.bind(prefix + "context_switch_cycles", &csw_cost_);
+  reg.bind(prefix + "context_switches", &csw_count_);
+  reg.bind(prefix + "instructions", &instr_executed_);
+  reg.bind(prefix + "cycles", &cycles_executed_);
+  reg.gauge_fn(prefix + "stall_cycles", [this] {
+    const double stalls = cycles_executed_.value() - instr_executed_.value();
+    return stalls > 0.0 ? stalls : 0.0;
+  });
+  reg.gauge_fn(prefix + "utilization", [this] { return utilization(); });
 }
 
 void Processor::update_busy(int delta) {
   busy_cores_ += delta;
-  busy_time_.set(engine_.now(), busy_cores_);
+  busy_time_.record(engine_.now(), busy_cores_);
   mem_.set_busy_cores(busy_cores_);
 }
 
@@ -74,8 +89,8 @@ void Processor::preempt(int core_idx) {
   if (frac > 1.0) frac = 1.0;
   double executed = core.slice_instr * frac;
   core.job->remaining -= executed;
-  instr_executed_ += executed;
-  cycles_executed_ += executed * core.slice_cpi;
+  instr_executed_.record(executed);
+  cycles_executed_.record(executed * core.slice_cpi);
   mem_.note_instructions(core.job->cls, executed);
   if (core.job->remaining < 0.0) core.job->remaining = 0.0;
   // Back to the head of the ready queue: it resumes as soon as the interrupt
@@ -109,8 +124,8 @@ void Processor::dispatch(int core_idx) {
     // Thread switch: pay the cache-refill-dependent cost.
     sim::Cycles cost = mem_.context_switch_cycles();
     extra_cycles = cost;
-    csw_cost_.add(cost);
-    csw_count_.add();
+    csw_cost_.record(cost);
+    csw_count_.record();
     core.last_tid = job->tid;
   }
 
@@ -131,8 +146,8 @@ void Processor::complete(int core_idx) {
   Core& core = cores_[core_idx];
   assert(core.busy);
   Job* job = core.job;
-  instr_executed_ += core.slice_instr;
-  cycles_executed_ += core.slice_instr * core.slice_cpi;
+  instr_executed_.record(core.slice_instr);
+  cycles_executed_.record(core.slice_instr * core.slice_cpi);
   mem_.note_instructions(job->cls, core.slice_instr);
   job->remaining = 0.0;
   core.busy = false;

@@ -16,7 +16,8 @@
 #include "cpu/memory_system.hpp"
 #include "cpu/params.hpp"
 #include "sim/engine.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/registry.hpp"
+#include "sim/obs/stats.hpp"
 #include "sim/task.hpp"
 
 namespace dclue::cpu {
@@ -64,16 +65,23 @@ class Processor {
   [[nodiscard]] double avg_active_threads() const {
     return active_threads_tw_.average(engine_.now());
   }
-  [[nodiscard]] const sim::Tally& context_switch_cost_cycles() const {
+  [[nodiscard]] const obs::Tally& context_switch_cost_cycles() const {
     return csw_cost_;
   }
   [[nodiscard]] std::uint64_t context_switches() const { return csw_count_.count(); }
-  [[nodiscard]] double instructions_executed() const { return instr_executed_; }
+  [[nodiscard]] double instructions_executed() const {
+    return instr_executed_.value();
+  }
   [[nodiscard]] double avg_cpi() const {
-    return instr_executed_ > 0 ? cycles_executed_ / instr_executed_ : 0.0;
+    return instr_executed_.value() > 0
+               ? cycles_executed_.value() / instr_executed_.value()
+               : 0.0;
   }
   /// Reset measurement windows at the end of warmup.
   void reset_stats();
+
+  /// Bind this processor's collectors under \p prefix ("node0.cpu.").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
 
  private:
   struct Job {
@@ -109,12 +117,12 @@ class Processor {
 
   int active_threads_ = 0;
   int busy_cores_ = 0;
-  sim::TimeWeighted active_threads_tw_;
-  sim::TimeWeighted busy_time_;  // sum over cores of busy indicator
-  sim::Tally csw_cost_;
-  sim::Counter csw_count_;
-  double instr_executed_ = 0.0;
-  double cycles_executed_ = 0.0;
+  obs::TimeWeightedAvg active_threads_tw_;
+  obs::TimeWeightedAvg busy_time_;  // sum over cores of busy indicator
+  obs::Tally csw_cost_;
+  obs::Counter csw_count_;
+  obs::Accum instr_executed_;
+  obs::Accum cycles_executed_;
 };
 
 }  // namespace dclue::cpu

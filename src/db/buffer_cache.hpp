@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "db/table.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/stats.hpp"
 
 namespace dclue::db {
 

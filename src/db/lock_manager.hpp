@@ -17,7 +17,8 @@
 #include <unordered_map>
 
 #include "sim/engine.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/registry.hpp"
+#include "sim/obs/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
@@ -46,8 +47,22 @@ class LockManager {
 
   [[nodiscard]] bool is_held(LockName name) const { return table_.contains(name); }
   [[nodiscard]] std::size_t held_count() const { return table_.size(); }
+  [[nodiscard]] const obs::TimeWeightedAvg& wait_queue_depth() const {
+    return wait_queue_depth_;
+  }
+
+  /// Bind the lock table's probes under \p prefix ("node0.lock.").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.bind(prefix + "wait_queue_depth", &wait_queue_depth_);
+    reg.gauge_fn(prefix + "held",
+                 [this] { return static_cast<double>(held_count()); });
+  }
 
  private:
+  void note_waiting(int delta) {
+    waiting_ += delta;
+    wait_queue_depth_.record(engine_.now(), waiting_);
+  }
   struct Waiter {
     TxnToken owner;
     std::unique_ptr<sim::Gate> gate;
@@ -61,6 +76,8 @@ class LockManager {
 
   sim::Engine& engine_;
   std::unordered_map<LockName, Entry> table_;
+  int waiting_ = 0;  ///< live (non-abandoned) waiters across all locks
+  obs::TimeWeightedAvg wait_queue_depth_;
 };
 
 inline bool LockManager::try_acquire(LockName name, TxnToken owner) {
@@ -76,11 +93,13 @@ inline sim::Task<bool> LockManager::acquire_wait(LockName name, TxnToken owner,
   waiter->owner = owner;
   waiter->gate = std::make_unique<sim::Gate>(engine_);
   entry.waiters.push_back(waiter);
+  note_waiting(+1);
   sim::EventHandle timer;
   if (timeout > 0.0) {
-    timer = engine_.after(timeout, [waiter] {
+    timer = engine_.after(timeout, [this, waiter] {
       if (!waiter->granted) {
         waiter->abandoned = true;
+        note_waiting(-1);
         waiter->gate->open();
       }
     });
@@ -100,6 +119,7 @@ inline void LockManager::release(LockName name, TxnToken owner) {
     if (waiter->abandoned) continue;
     entry.holder = waiter->owner;
     waiter->granted = true;
+    note_waiting(-1);
     waiter->gate->open();
     return;
   }

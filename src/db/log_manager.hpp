@@ -12,7 +12,7 @@
 #include <memory>
 
 #include "sim/engine.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "storage/disk.hpp"

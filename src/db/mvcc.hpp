@@ -16,7 +16,7 @@
 #include "db/buffer_cache.hpp"
 #include "db/table.hpp"
 #include "sim/engine.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/stats.hpp"
 
 namespace dclue::db {
 
@@ -33,13 +33,13 @@ class VersionManager {
     auto& chain = chains_[lock_name(page, subpage)];
     chain.push_back(ts);
     in_use_ += bytes;
-    versions_created_.add();
+    versions_created_.record();
     while (in_use_ > capacity_) {
       // Steal an unpinned buffer page into the overflow area.
       auto stolen = cache_.steal_for_versions(1);
       if (stolen.empty()) break;
       capacity_ += kPageBytes;
-      pages_stolen_.add();
+      pages_stolen_.record();
     }
   }
 
@@ -84,7 +84,7 @@ class VersionManager {
            in_use_ < capacity_ - 2 * kPageBytes) {
       capacity_ -= kPageBytes;
       cache_.restore_capacity(1);
-      pages_returned_.add();
+      pages_returned_.record();
     }
     return freed;
   }
@@ -105,9 +105,9 @@ class VersionManager {
   BufferCache& cache_;
   std::unordered_map<LockName, std::vector<Timestamp>> chains_;
   sim::Bytes in_use_ = 0;
-  sim::Counter versions_created_;
-  sim::Counter pages_stolen_;
-  sim::Counter pages_returned_;
+  obs::Counter versions_created_;
+  obs::Counter pages_stolen_;
+  obs::Counter pages_returned_;
 };
 
 }  // namespace dclue::db

@@ -13,17 +13,17 @@ void Link::start_transmission() {
   auto pkt = queue_.dequeue(engine_.now());
   if (!pkt) {
     transmitting_ = false;
-    busy_.set(engine_.now(), 0.0);
+    busy_.record(engine_.now(), 0.0);
     return;
   }
   transmitting_ = true;
-  busy_.set(engine_.now(), 1.0);
+  busy_.record(engine_.now(), 1.0);
   if (pkt->bytes != tx_memo_bytes_) {
     tx_memo_bytes_ = pkt->bytes;
     tx_memo_time_ = sim::transmission_time(pkt->bytes, rate_);
   }
   const sim::Duration tx = tx_memo_time_;
-  bytes_sent_ += pkt->bytes;
+  bytes_sent_.record(static_cast<std::uint64_t>(pkt->bytes));
   // Delivery happens after serialization plus propagation; the transmitter
   // frees up after serialization alone.
   engine_.after(tx + propagation_, [this, p = *pkt]() mutable {

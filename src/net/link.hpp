@@ -11,7 +11,7 @@
 #include "net/packet.hpp"
 #include "net/qos.hpp"
 #include "sim/engine.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/stats.hpp"
 
 namespace dclue::net {
 
@@ -39,13 +39,22 @@ class Link : public PacketSink {
   [[nodiscard]] double utilization(sim::Time now) const {
     return busy_.average(now);
   }
-  [[nodiscard]] sim::Bytes bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] sim::Bytes bytes_sent() const {
+    return static_cast<sim::Bytes>(bytes_sent_.count());
+  }
   [[nodiscard]] const OutputQueue& queue() const { return queue_; }
   [[nodiscard]] OutputQueue& queue() { return queue_; }
   void reset_stats(sim::Time now) {
     busy_.reset(now);
-    bytes_sent_ = 0;
-    queue_.reset_stats();
+    bytes_sent_.reset();
+    queue_.reset_stats(now);
+  }
+
+  /// Bind the link's collectors under \p prefix ("link.<name>.").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.bind(prefix + "busy", &busy_);
+    reg.bind(prefix + "bytes_sent", &bytes_sent_);
+    queue_.register_metrics(reg, prefix + "queue.");
   }
 
  private:
@@ -64,8 +73,8 @@ class Link : public PacketSink {
   sim::Bytes tx_memo_bytes_ = -1;
   sim::Duration tx_memo_time_ = 0.0;
   bool transmitting_ = false;
-  sim::TimeWeighted busy_;
-  sim::Bytes bytes_sent_ = 0;
+  obs::TimeWeightedAvg busy_;
+  obs::Counter bytes_sent_;
 };
 
 }  // namespace dclue::net

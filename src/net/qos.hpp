@@ -17,7 +17,8 @@
 #include "net/packet.hpp"
 #include "sim/ring.hpp"
 #include "sim/rng.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/registry.hpp"
+#include "sim/obs/stats.hpp"
 
 namespace dclue::net {
 
@@ -90,15 +91,28 @@ class OutputQueue {
     return bytes_[static_cast<std::size_t>(cls)];
   }
 
-  [[nodiscard]] const sim::Counter& drops() const { return drops_; }
-  [[nodiscard]] const sim::Counter& policed_drops() const { return policed_; }
-  [[nodiscard]] const sim::Counter& ecn_marks() const { return ecn_marks_; }
-  [[nodiscard]] const sim::Tally& queue_delay() const { return queue_delay_; }
-  void reset_stats() {
+  [[nodiscard]] const obs::Counter& drops() const { return drops_; }
+  [[nodiscard]] const obs::Counter& policed_drops() const { return policed_; }
+  [[nodiscard]] const obs::Counter& ecn_marks() const { return ecn_marks_; }
+  [[nodiscard]] const obs::Tally& queue_delay() const { return queue_delay_; }
+  [[nodiscard]] const obs::TimeWeightedAvg& depth_bytes() const {
+    return depth_bytes_;
+  }
+  void reset_stats(sim::Time now = 0.0) {
     drops_.reset();
     policed_.reset();
     ecn_marks_.reset();
     queue_delay_.reset();
+    depth_bytes_.reset(now);
+  }
+
+  /// Bind the queue's collectors under \p prefix ("link.<name>.queue.").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.bind(prefix + "drops", &drops_);
+    reg.bind(prefix + "policed_drops", &policed_);
+    reg.bind(prefix + "ecn_marks", &ecn_marks_);
+    reg.bind(prefix + "delay", &queue_delay_);
+    reg.bind(prefix + "depth_bytes", &depth_bytes_);
   }
 
  private:
@@ -122,10 +136,11 @@ class OutputQueue {
   std::array<double, kNumDscp> tokens_{};
   std::array<sim::Time, kNumDscp> token_time_{};
   std::array<double, kNumDscp> wred_avg_{};
-  sim::Counter drops_;
-  sim::Counter policed_;
-  sim::Counter ecn_marks_;
-  sim::Tally queue_delay_;
+  obs::Counter drops_;
+  obs::Counter policed_;
+  obs::Counter ecn_marks_;
+  obs::Tally queue_delay_;
+  obs::TimeWeightedAvg depth_bytes_;  ///< total queued bytes over time
   sim::Rng wred_rng_;
 };
 
@@ -164,22 +179,22 @@ inline int OutputQueue::wred_verdict(std::size_t cls, const Packet& pkt) {
 inline bool OutputQueue::enqueue(Packet pkt, sim::Time now) {
   const auto cls = static_cast<std::size_t>(pkt.dscp);
   if (!police_conforms(cls, pkt.bytes, now)) {
-    policed_.add();
-    drops_.add();
+    policed_.record();
+    drops_.record();
     return false;
   }
   if (bytes_[cls] + pkt.bytes > params_.queue_limit_bytes[cls]) {
-    drops_.add();
+    drops_.record();
     return false;
   }
   if (params_.drop == DropPolicy::kWred) {
     switch (wred_verdict(cls, pkt)) {
       case 1:
         pkt.seg.ce = true;
-        ecn_marks_.add();
+        ecn_marks_.record();
         break;
       case 2:
-        drops_.add();
+        drops_.record();
         return false;
       default:
         break;
@@ -187,7 +202,7 @@ inline bool OutputQueue::enqueue(Packet pkt, sim::Time now) {
   } else if (params_.ecn_mark_threshold_bytes > 0 && pkt.seg.len > 0 &&
              bytes_[cls] >= params_.ecn_mark_threshold_bytes) {
     pkt.seg.ce = true;
-    ecn_marks_.add();
+    ecn_marks_.record();
   }
 
   pkt.enqueued_at = now;
@@ -199,6 +214,7 @@ inline bool OutputQueue::enqueue(Packet pkt, sim::Time now) {
     wfq_last_finish_[cls] = finish;
   }
   bytes_[cls] += pkt.bytes;
+  depth_bytes_.record(now, static_cast<double>(queued_bytes()));
   queues_[cls].emplace_back(std::move(pkt), finish);
   return true;
 }
@@ -244,10 +260,11 @@ inline std::optional<Packet> OutputQueue::dequeue(sim::Time now) {
   auto& q = queues_[static_cast<std::size_t>(cls)];
   Entry& entry = q.front();  // move the packet straight out of the ring slot
   bytes_[static_cast<std::size_t>(cls)] -= entry.pkt.bytes;
+  depth_bytes_.record(now, static_cast<double>(queued_bytes()));
   if (params_.scheduler == QueueScheduler::kWfq) {
     wfq_virtual_ = std::max(wfq_virtual_, entry.wfq_finish);
   }
-  queue_delay_.add(now - entry.pkt.enqueued_at);
+  queue_delay_.record(now - entry.pkt.enqueued_at);
   std::optional<Packet> out(std::move(entry.pkt));
   q.pop_front();
   return out;

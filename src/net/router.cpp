@@ -4,7 +4,7 @@ namespace dclue::net {
 
 void Router::deliver(Packet pkt) {
   if (input_q_.size() >= params_.input_queue_packets) {
-    input_drops_.add();
+    input_drops_.record();
     return;
   }
   pkt.enqueued_at = engine_.now();
@@ -15,16 +15,16 @@ void Router::deliver(Packet pkt) {
 void Router::service_next() {
   if (input_q_.empty()) {
     serving_ = false;
-    busy_.set(engine_.now(), 0.0);
+    busy_.record(engine_.now(), 0.0);
     return;
   }
   serving_ = true;
-  busy_.set(engine_.now(), 1.0);
+  busy_.record(engine_.now(), 1.0);
   engine_.after(service_interval_, [this] {
     Packet pkt = std::move(input_q_.front());
     input_q_.pop_front();
-    fwd_delay_.add(engine_.now() - pkt.enqueued_at);
-    forwarded_.add();
+    fwd_delay_.record(engine_.now() - pkt.enqueued_at);
+    forwarded_.record();
     const auto dst = static_cast<std::size_t>(pkt.dst);
     Link* out = dst < routes_.size() && routes_[dst] ? routes_[dst]
                                                      : default_route_;

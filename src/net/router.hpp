@@ -13,7 +13,7 @@
 #include "net/packet.hpp"
 #include "sim/engine.hpp"
 #include "sim/ring.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/stats.hpp"
 
 namespace dclue::net {
 
@@ -48,9 +48,9 @@ class Router : public PacketSink {
   void deliver(Packet pkt) override;
 
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] const sim::Counter& forwarded() const { return forwarded_; }
-  [[nodiscard]] const sim::Counter& input_drops() const { return input_drops_; }
-  [[nodiscard]] const sim::Tally& forwarding_delay() const { return fwd_delay_; }
+  [[nodiscard]] const obs::Counter& forwarded() const { return forwarded_; }
+  [[nodiscard]] const obs::Counter& input_drops() const { return input_drops_; }
+  [[nodiscard]] const obs::Tally& forwarding_delay() const { return fwd_delay_; }
   [[nodiscard]] double engine_utilization(sim::Time now) const {
     return busy_.average(now);
   }
@@ -59,6 +59,14 @@ class Router : public PacketSink {
     input_drops_.reset();
     fwd_delay_.reset();
     busy_.reset(now);
+  }
+
+  /// Bind the router's collectors under \p prefix ("router.<name>.").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.bind(prefix + "forwarded", &forwarded_);
+    reg.bind(prefix + "input_drops", &input_drops_);
+    reg.bind(prefix + "forwarding_delay", &fwd_delay_);
+    reg.bind(prefix + "engine_busy", &busy_);
   }
 
  private:
@@ -72,10 +80,10 @@ class Router : public PacketSink {
   Link* default_route_ = nullptr;
   sim::Ring<Packet> input_q_;
   bool serving_ = false;
-  sim::Counter forwarded_;
-  sim::Counter input_drops_;
-  sim::Tally fwd_delay_;
-  sim::TimeWeighted busy_;
+  obs::Counter forwarded_;
+  obs::Counter input_drops_;
+  obs::Tally fwd_delay_;
+  obs::TimeWeightedAvg busy_;
 };
 
 }  // namespace dclue::net

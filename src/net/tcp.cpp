@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/obs/trace.hpp"
+
 namespace dclue::net {
 
 // ---------------------------------------------------------------------------
@@ -17,6 +19,16 @@ TcpStack::TcpStack(sim::Engine& engine, Nic& nic, TcpParams params,
       costs_(costs),
       charge_(std::move(charge)) {
   nic_.set_rx_handler([this](Packet pkt) { on_packet(std::move(pkt)); });
+}
+
+void TcpStack::register_metrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) {
+  reg.bind(prefix + "segments_sent", &segments_sent_);
+  reg.bind(prefix + "segments_received", &segments_received_);
+  reg.bind(prefix + "retransmits", &retransmits_);
+  reg.bind(prefix + "rto_fires", &rto_fires_);
+  reg.gauge_fn(prefix + "open_connections",
+               [this] { return static_cast<double>(open_connections()); });
 }
 
 std::shared_ptr<TcpConnection> TcpStack::connect(Address dst, std::uint16_t port,
@@ -62,7 +74,7 @@ sim::DetachedTask TcpStack::rx_process(Packet pkt) {
 }
 
 void TcpStack::rx_dispatch(const Packet& pkt) {
-  segments_received_.add();
+  segments_received_.record();
   const auto& seg = pkt.seg;
   // Consecutive segments almost always belong to the same connection, so a
   // one-entry cache in front of the id map covers the bulk-transfer case.
@@ -111,7 +123,7 @@ void TcpStack::emit(TcpConnection& conn, TcpSegment seg, sim::Bytes payload_len)
   pkt.dscp = conn.dscp();
   pkt.bytes = payload_len + kHeaderBytes;
   pkt.seg = seg;
-  segments_sent_.add();
+  segments_sent_.record();
   nic_.send(std::move(pkt));
 }
 
@@ -419,6 +431,8 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
     if (snd_una_ >= ecn_reduce_until_) {
       ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * static_cast<double>(p.mss));
       cwnd_ = ssthresh_;
+      DCLUE_TRACE_COUNTER("tcp", "cwnd", stack_.engine().now(), cwnd_,
+                          static_cast<std::uint32_t>(id_));
       ecn_reduce_until_ = snd_nxt_;
       cwr_pending_ = true;
     }
@@ -509,13 +523,17 @@ void TcpConnection::enter_fast_recovery() {
                        2.0 * static_cast<double>(p.mss));
   retransmit_at(snd_una_);
   cwnd_ = ssthresh_ + 3.0 * static_cast<double>(p.mss);
+  DCLUE_TRACE_COUNTER("tcp", "cwnd", stack_.engine().now(), cwnd_,
+                      static_cast<std::uint32_t>(id_));
   in_recovery_ = true;
   recover_ = snd_nxt_;
 }
 
 void TcpConnection::retransmit_at(std::int64_t seq) {
   ++retransmit_count_;
-  stack_.retransmits_.add();
+  stack_.retransmits_.record();
+  DCLUE_TRACE_INSTANT("tcp", "retransmit", stack_.engine().now(),
+                      static_cast<std::uint32_t>(id_));
   rtt_seq_ = -1;  // Karn: do not sample RTT across a retransmission
   const bool is_fin = fin_sent_ && seq == fin_seq_;
   const sim::Bytes len =
@@ -549,6 +567,9 @@ void TcpConnection::arm_rto() {
 
 void TcpConnection::on_rto() {
   if (state_ == State::kClosed) return;
+  stack_.rto_fires_.record();
+  DCLUE_TRACE_INSTANT("tcp", "rto", stack_.engine().now(),
+                      static_cast<std::uint32_t>(id_));
   ++rto_backoff_;
   if (++consecutive_rto_ > stack_.params().max_retransmits) {
     do_reset();

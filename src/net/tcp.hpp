@@ -23,7 +23,8 @@
 #include "sim/engine.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/small_vec.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/registry.hpp"
+#include "sim/obs/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
@@ -289,7 +290,11 @@ class TcpStack {
     return segments_received_.count();
   }
   [[nodiscard]] std::uint64_t total_retransmits() const { return retransmits_.count(); }
+  [[nodiscard]] std::uint64_t rto_fires() const { return rto_fires_.count(); }
   [[nodiscard]] std::size_t open_connections() const { return connections_.size(); }
+
+  /// Bind the stack's collectors under \p prefix ("node0.tcp.").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
 
  private:
   friend class TcpConnection;
@@ -313,9 +318,10 @@ class TcpStack {
   /// cached connection is unregistered.
   std::uint64_t last_conn_id_ = 0;
   TcpConnection* last_conn_ = nullptr;
-  sim::Counter segments_sent_;
-  sim::Counter segments_received_;
-  sim::Counter retransmits_;
+  obs::Counter segments_sent_;
+  obs::Counter segments_received_;
+  obs::Counter retransmits_;
+  obs::Counter rto_fires_;
 };
 
 }  // namespace dclue::net

@@ -93,4 +93,25 @@ void Topology::reset_stats() {
   for (auto& r : inner_routers_) r->reset_stats(now);
 }
 
+void Topology::register_metrics(obs::MetricsRegistry& reg) {
+  // The fabric-wide probes: routers and the inter-LATA trunks get named
+  // entries; the many per-host access links stay internal (their drops are
+  // visible through fabric.total_drops) and keep their window in sync
+  // through the registry's reset hook.
+  reg.on_reset([this](sim::Time) { reset_stats(); });
+  reg.gauge_fn("fabric.total_drops",
+               [this] { return static_cast<double>(total_drops()); });
+  outer_router_->register_metrics(reg,
+                                  "fabric.router." + outer_router_->name() + ".");
+  for (auto& r : inner_routers_) {
+    r->register_metrics(reg, "fabric.router." + r->name() + ".");
+  }
+  for (std::size_t lata = 0; lata < lata_uplinks_.size(); ++lata) {
+    lata_uplinks_[lata]->register_metrics(
+        reg, "fabric.link." + lata_uplinks_[lata]->name() + ".");
+    lata_downlinks_[lata]->register_metrics(
+        reg, "fabric.link." + lata_downlinks_[lata]->name() + ".");
+  }
+}
+
 }  // namespace dclue::net

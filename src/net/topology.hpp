@@ -69,6 +69,11 @@ class Topology {
 
   void reset_stats();
 
+  /// Register the fabric probes (routers, inter-LATA trunks, total drops)
+  /// and a reset hook that keeps the unregistered access links' windows in
+  /// step with the registry's.
+  void register_metrics(obs::MetricsRegistry& reg);
+
  private:
   /// Create a host NIC dual-linked to \p router, registering its route.
   Nic* attach_host(Router& router, const char* name_prefix, int index,

@@ -85,7 +85,7 @@ sim::DetachedTask FtpClient::transfer() {
   auto channel = std::make_shared<MsgChannel>(conn);
   co_await conn->established().wait();
   if (conn->state() == net::TcpConnection::State::kClosed) {
-    ++aborted_;
+    aborted_.record();
     co_return;
   }
 
@@ -98,10 +98,10 @@ sim::DetachedTask FtpClient::transfer() {
   if (is_get) {
     Message data = co_await channel->inbox().receive();
     if (data.type >= kChannelClosed) {
-      ++aborted_;
+      aborted_.record();
       co_return;
     }
-    bytes_carried_ += data.bytes;
+    bytes_carried_.record(static_cast<std::uint64_t>(data.bytes));
   } else {
     Message data;
     data.type = kFtpData;
@@ -109,14 +109,14 @@ sim::DetachedTask FtpClient::transfer() {
     channel->send(std::move(data));
     Message ack = co_await channel->inbox().receive();
     if (ack.type >= kChannelClosed) {
-      ++aborted_;
+      aborted_.record();
       co_return;
     }
-    bytes_carried_ += file;
+    bytes_carried_.record(static_cast<std::uint64_t>(file));
   }
   conn->close();
-  ++completed_;
-  transfer_time_.add(engine_.now() - started);
+  completed_.record();
+  transfer_time_.record(engine_.now() - started);
 }
 
 }  // namespace dclue::proto

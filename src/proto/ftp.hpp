@@ -14,7 +14,8 @@
 #include "net/tcp.hpp"
 #include "proto/channel.hpp"
 #include "sim/rng.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/registry.hpp"
+#include "sim/obs/stats.hpp"
 
 namespace dclue::proto {
 
@@ -72,15 +73,29 @@ class FtpClient {
 
   void start();
 
-  [[nodiscard]] std::uint64_t transfers_completed() const { return completed_; }
-  [[nodiscard]] std::uint64_t transfers_aborted() const { return aborted_; }
-  [[nodiscard]] sim::Bytes bytes_carried() const { return bytes_carried_; }
-  [[nodiscard]] const sim::Tally& transfer_time() const { return transfer_time_; }
+  [[nodiscard]] std::uint64_t transfers_completed() const {
+    return completed_.count();
+  }
+  [[nodiscard]] std::uint64_t transfers_aborted() const {
+    return aborted_.count();
+  }
+  [[nodiscard]] sim::Bytes bytes_carried() const {
+    return static_cast<sim::Bytes>(bytes_carried_.count());
+  }
+  [[nodiscard]] const obs::Tally& transfer_time() const { return transfer_time_; }
   void reset_stats() {
-    completed_ = 0;
-    aborted_ = 0;
-    bytes_carried_ = 0;
+    completed_.reset();
+    aborted_.reset();
+    bytes_carried_.reset();
     transfer_time_.reset();
+  }
+
+  /// Bind this client's collectors under \p prefix ("ftp.client<i>.").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.bind(prefix + "completed", &completed_);
+    reg.bind(prefix + "aborted", &aborted_);
+    reg.bind(prefix + "bytes_carried", &bytes_carried_);
+    reg.bind(prefix + "transfer_time", &transfer_time_);
   }
 
  private:
@@ -92,10 +107,10 @@ class FtpClient {
   std::vector<net::Address> servers_;
   FtpTrafficParams params_;
   sim::Rng rng_;
-  std::uint64_t completed_ = 0;
-  std::uint64_t aborted_ = 0;
-  sim::Bytes bytes_carried_ = 0;
-  sim::Tally transfer_time_;
+  obs::Counter completed_;
+  obs::Counter aborted_;
+  obs::Counter bytes_carried_;
+  obs::Tally transfer_time_;
 };
 
 }  // namespace dclue::proto

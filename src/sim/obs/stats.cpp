@@ -1,6 +1,6 @@
-#include "sim/stats.hpp"
+#include "sim/obs/stats.hpp"
 
-namespace dclue::sim {
+namespace dclue::obs {
 
 double Histogram::quantile(double q) const {
   const std::uint64_t total = tally_.count();
@@ -17,4 +17,4 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
-}  // namespace dclue::sim
+}  // namespace dclue::obs

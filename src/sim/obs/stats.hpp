@@ -1,27 +1,35 @@
 #pragma once
 
 /// \file stats.hpp
-/// Online statistics collectors. The model reports everything the paper
-/// plots — messages per transaction, lock-wait times, CPI, active threads —
-/// and all of those "fall out of the actual functioning of the simulation",
-/// so every subsystem accumulates into these collectors rather than exposing
-/// tuned constants.
+/// Online statistics collectors — the primitive layer of the observability
+/// subsystem. The model reports everything the paper plots (messages per
+/// transaction, lock-wait times, CPI, active threads) and all of those "fall
+/// out of the actual functioning of the simulation", so every subsystem
+/// accumulates into these collectors rather than exposing tuned constants.
+///
+/// Conventions (uniform across the whole registry surface):
+///   - mutators are `record*` and take the sample,
+///   - getters are plain snake_case nouns (`count()`, `mean()`, `value()`),
+///   - `reset()` / `reset(now)` restarts the measurement window.
+///
+/// Collectors are registered with (or created by) obs::MetricsRegistry so a
+/// single snapshot/reset surface covers the whole simulation; see
+/// registry.hpp.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <string>
 #include <vector>
 
 #include "sim/units.hpp"
 
-namespace dclue::sim {
+namespace dclue::obs {
 
 /// Sample statistics via Welford's online algorithm.
 class Tally {
  public:
-  void add(double x) {
+  void record(double x) {
     ++n_;
     double d = x - mean_;
     mean_ += d / static_cast<double>(n_);
@@ -71,52 +79,80 @@ class Tally {
 };
 
 /// Time-weighted average of a piecewise-constant quantity (queue lengths,
-/// active thread counts, utilization).
-class TimeWeighted {
+/// active thread counts, utilization). The window reset keeps the current
+/// level — only the integral restarts.
+class TimeWeightedAvg {
  public:
-  void set(Time now, double value) {
+  /// Set the level at `now` (the previous level is integrated up to `now`).
+  void record(sim::Time now, double value) {
     accumulate(now);
     value_ = value;
   }
-  void adjust(Time now, double delta) { set(now, value_ + delta); }
+  /// Step the level by `delta` at `now`.
+  void record_delta(sim::Time now, double delta) { record(now, value_ + delta); }
 
   [[nodiscard]] double current() const { return value_; }
 
-  /// Average over [start, now].
-  [[nodiscard]] double average(Time now) const {
+  /// Average over [window start, now].
+  [[nodiscard]] double average(sim::Time now) const {
     double span = now - start_;
     if (span <= 0.0) return value_;
     return (integral_ + value_ * (now - last_)) / span;
   }
 
   /// Restart the measurement window (e.g. at the end of warmup).
-  void reset(Time now) {
+  void reset(sim::Time now) {
     start_ = now;
     last_ = now;
     integral_ = 0.0;
   }
 
  private:
-  void accumulate(Time now) {
+  void accumulate(sim::Time now) {
     integral_ += value_ * (now - last_);
     last_ = now;
   }
 
-  Time start_ = 0.0;
-  Time last_ = 0.0;
+  sim::Time start_ = 0.0;
+  sim::Time last_ = 0.0;
   double value_ = 0.0;
   double integral_ = 0.0;
 };
 
-/// Event counter with windowed rate support.
+/// Monotone event counter, reset at window boundaries.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { count_ += n; }
+  void record(std::uint64_t n = 1) { count_ += n; }
   [[nodiscard]] std::uint64_t count() const { return count_; }
   void reset() { count_ = 0; }
 
  private:
   std::uint64_t count_ = 0;
+};
+
+/// Windowed sum of a real-valued quantity (bytes, cycles, instructions) —
+/// a Counter for doubles. Reset at window boundaries like Counter.
+class Accum {
+ public:
+  void record(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Instantaneous level (cache occupancy, in-flight transaction stage). NOT
+/// cleared by window resets: the level persists across the warmup boundary,
+/// matching the physical quantity it mirrors.
+class Gauge {
+ public:
+  void record(double value) { value_ = value; }
+  void record_delta(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
 };
 
 /// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the end
@@ -126,21 +162,29 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins)
       : lo_(lo), hi_(hi), bins_(bins, 0) {}
 
-  void add(double x) {
-    tally_.add(x);
+  void record(double x) {
+    tally_.record(x);
     double f = (x - lo_) / (hi_ - lo_);
     auto idx = static_cast<std::int64_t>(f * static_cast<double>(bins_.size()));
     idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(bins_.size()) - 1);
     ++bins_[static_cast<std::size_t>(idx)];
   }
 
-  /// Approximate quantile from bin midpoints.
+  /// Approximate quantile from bin midpoints. Empty histogram reports 0;
+  /// q >= 1 (or any q past the last occupied bin) reports the upper bound.
   [[nodiscard]] double quantile(double q) const;
 
   [[nodiscard]] const Tally& tally() const { return tally_; }
   [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return bins_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
   [[nodiscard]] double bin_lo(std::size_t i) const {
     return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(bins_.size());
+  }
+
+  void reset() {
+    tally_.reset();
+    std::fill(bins_.begin(), bins_.end(), 0);
   }
 
  private:
@@ -150,4 +194,4 @@ class Histogram {
   Tally tally_;
 };
 
-}  // namespace dclue::sim
+}  // namespace dclue::obs

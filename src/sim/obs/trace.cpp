@@ -1,0 +1,84 @@
+#include "sim/obs/trace.hpp"
+
+#include <cstdio>
+
+namespace dclue::obs {
+
+namespace {
+
+thread_local Tracer* g_tracer = nullptr;
+
+void append_event(std::string& out, const TraceEvent& e, std::uint32_t pid,
+                  bool& first) {
+  char buf[256];
+  const double ts_us = e.ts * 1e6;
+  int n = 0;
+  switch (e.ph) {
+    case 'X':
+      n = std::snprintf(buf, sizeof buf,
+                        "%s  {\"ph\": \"X\", \"cat\": \"%s\", \"name\": \"%s\", "
+                        "\"ts\": %.6f, \"dur\": %.6f, \"pid\": %u, \"tid\": %u}",
+                        first ? "\n" : ",\n", e.cat, e.name, ts_us, e.aux * 1e6,
+                        pid, e.tid);
+      break;
+    case 'C':
+      n = std::snprintf(buf, sizeof buf,
+                        "%s  {\"ph\": \"C\", \"cat\": \"%s\", \"name\": \"%s\", "
+                        "\"ts\": %.6f, \"pid\": %u, \"tid\": %u, "
+                        "\"args\": {\"value\": %.17g}}",
+                        first ? "\n" : ",\n", e.cat, e.name, ts_us, pid, e.tid,
+                        e.aux);
+      break;
+    default:  // 'i'
+      n = std::snprintf(buf, sizeof buf,
+                        "%s  {\"ph\": \"i\", \"s\": \"t\", \"cat\": \"%s\", "
+                        "\"name\": \"%s\", \"ts\": %.6f, \"pid\": %u, "
+                        "\"tid\": %u}",
+                        first ? "\n" : ",\n", e.cat, e.name, ts_us, pid, e.tid);
+      break;
+  }
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+  first = false;
+}
+
+}  // namespace
+
+Tracer* tracer() noexcept { return g_tracer; }
+
+Tracer* set_tracer(Tracer* t) noexcept {
+  Tracer* prev = g_tracer;
+  g_tracer = t;
+  return prev;
+}
+
+std::string Tracer::to_json() const {
+  std::string out;
+  out.reserve(64 + 96 * (events_.size() + foreign_.size()));
+  out += "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events_) append_event(out, e, pid_, first);
+  for (const ForeignEvent& f : foreign_) append_event(out, f.ev, f.pid, first);
+  out += first ? "]" : "\n]";
+  out += ", \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int rc = std::fclose(f);
+  return written == json.size() && rc == 0;
+}
+
+void Tracer::append(const Tracer& other) {
+  foreign_.reserve(foreign_.size() + other.events_.size() +
+                   other.foreign_.size());
+  for (const TraceEvent& e : other.events_) {
+    foreign_.push_back({e, other.pid_});
+  }
+  foreign_.insert(foreign_.end(), other.foreign_.begin(), other.foreign_.end());
+}
+
+}  // namespace dclue::obs

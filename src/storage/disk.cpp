@@ -40,10 +40,10 @@ sim::Duration Disk::service_time_for(const Request& req) const {
 sim::DetachedTask Disk::service_loop() {
   for (;;) {
     while (queue_.empty()) {
-      busy_.set(engine_.now(), 0.0);
+      busy_.record(engine_.now(), 0.0);
       co_await work_.wait();
     }
-    busy_.set(engine_.now(), 1.0);
+    busy_.record(engine_.now(), 1.0);
     auto it = pick_next();
     Request req = std::move(it->second);
     queue_.erase(it);
@@ -51,9 +51,9 @@ sim::DetachedTask Disk::service_loop() {
     // The head ends one block past the transferred range.
     head_ = req.block + (req.bytes + 8191) / 8192;
     co_await sim::delay_for(engine_, service);
-    ops_.add();
-    service_.add(service);
-    latency_.add(engine_.now() - req.submitted);
+    ops_.record();
+    service_.record(service);
+    latency_.record(engine_.now() - req.submitted);
     req.done->open();
   }
 }

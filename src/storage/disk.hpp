@@ -16,7 +16,8 @@
 
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
-#include "sim/stats.hpp"
+#include "sim/obs/registry.hpp"
+#include "sim/obs/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
@@ -72,14 +73,22 @@ class Disk : public BlockDevice {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::uint64_t ops_completed() const override { return ops_.count(); }
-  [[nodiscard]] const sim::Tally& latency() const { return latency_; }
-  [[nodiscard]] const sim::Tally& service_time() const { return service_; }
+  [[nodiscard]] const obs::Tally& latency() const { return latency_; }
+  [[nodiscard]] const obs::Tally& service_time() const { return service_; }
   [[nodiscard]] double utilization() const { return busy_.average(engine_.now()); }
   void reset_stats() {
     ops_.reset();
     latency_.reset();
     service_.reset();
     busy_.reset(engine_.now());
+  }
+
+  /// Bind this spindle's collectors under \p prefix ("node0.disk.log.").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.bind(prefix + "ops", &ops_);
+    reg.bind(prefix + "latency", &latency_);
+    reg.bind(prefix + "service_time", &service_);
+    reg.bind(prefix + "busy", &busy_);
   }
 
  private:
@@ -103,10 +112,10 @@ class Disk : public BlockDevice {
   sim::Signal work_;
   std::multimap<std::int64_t, Request> queue_;
   std::int64_t head_ = 0;
-  sim::Counter ops_;
-  sim::Tally latency_;
-  sim::Tally service_;
-  sim::TimeWeighted busy_;
+  obs::Counter ops_;
+  obs::Tally latency_;
+  obs::Tally service_;
+  obs::TimeWeightedAvg busy_;
 };
 
 }  // namespace dclue::storage

@@ -57,13 +57,13 @@ class DiskArray : public BlockDevice {
     return u / static_cast<double>(disks_.size());
   }
   /// Mean request latency (queueing + service) across spindles.
-  [[nodiscard]] sim::Tally latency() const {
-    sim::Tally t;
+  [[nodiscard]] obs::Tally latency() const {
+    obs::Tally t;
     for (const auto& d : disks_) t.merge(d->latency());
     return t;
   }
-  [[nodiscard]] sim::Tally service_time() const {
-    sim::Tally t;
+  [[nodiscard]] obs::Tally service_time() const {
+    obs::Tally t;
     for (const auto& d : disks_) t.merge(d->service_time());
     return t;
   }
@@ -80,6 +80,24 @@ class DiskArray : public BlockDevice {
   }
   void reset_stats() {
     for (auto& d : disks_) d->reset_stats();
+  }
+
+  /// Register array-level aggregates under \p prefix ("node0.disk.data.").
+  /// Per-spindle collectors stay internal (a 96-spindle array would flood
+  /// the registry); their windows follow the registry via a reset hook, and
+  /// the aggregates are sampled at snapshot time.
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.on_reset([this](sim::Time) { reset_stats(); });
+    reg.gauge_fn(prefix + "ops",
+                 [this] { return static_cast<double>(ops_completed()); });
+    reg.gauge_fn(prefix + "avg_utilization",
+                 [this] { return avg_utilization(); });
+    reg.gauge_fn(prefix + "max_utilization",
+                 [this] { return max_utilization(); });
+    reg.gauge_fn(prefix + "latency_mean",
+                 [this] { return latency().mean(); });
+    reg.gauge_fn(prefix + "service_time_mean",
+                 [this] { return service_time().mean(); });
   }
 
  private:

@@ -59,7 +59,7 @@ sim::DetachedTask TerminalFleet::one_business_txn(std::int64_t w, int server) {
   }
   if (ok) {
     ++completed_;
-    bt_time_.add(engine_.now() - t0);
+    bt_time_.record(engine_.now() - t0);
     if (conn->state() != net::TcpConnection::State::kClosed) conn->close();
   } else {
     ++conn_failures_;

@@ -77,7 +77,7 @@ class TerminalFleet {
   [[nodiscard]] std::uint64_t business_txns_completed() const { return completed_; }
   [[nodiscard]] std::uint64_t connection_failures() const { return conn_failures_; }
   [[nodiscard]] std::uint64_t admission_drops() const { return admission_drops_; }
-  [[nodiscard]] const sim::Tally& bt_time() const { return bt_time_; }
+  [[nodiscard]] const obs::Tally& bt_time() const { return bt_time_; }
   [[nodiscard]] std::uint64_t arrivals() const { return next_arrival_; }
   [[nodiscard]] int inflight() const { return inflight_; }
 
@@ -96,7 +96,7 @@ class TerminalFleet {
   std::uint64_t admission_drops_ = 0;
   int inflight_ = 0;
   std::uint64_t next_arrival_ = 0;
-  sim::Tally bt_time_;
+  obs::Tally bt_time_;
 
  public:
   // Debug visibility: where in the protocol in-flight business txns sit.

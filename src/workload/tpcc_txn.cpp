@@ -4,7 +4,14 @@
 #include <memory>
 #include <set>
 
+#include "sim/obs/trace.hpp"
+
 namespace dclue::workload {
+
+/// Trace span labels indexed by TxnType (string literals: the tracer stores
+/// pointers, not copies).
+constexpr const char* kTxnTraceNames[kNumTxnTypes] = {
+    "new_order", "payment", "order_status", "delivery", "stock_level"};
 
 using db::key_i;
 using db::key_w;
@@ -351,30 +358,37 @@ sim::Task<bool> TpccExecutor::execute(const TxnInput& input, cpu::ThreadId tid) 
 
   const sim::Time t_begin = env_.engine->now();
   co_await env_.proc->compute(env_.pl.txn_begin, cpu::JobClass::kApplication, tid);
-  ++env_.stats->in_phase1;
+  env_.stats->in_phase1.record_delta(1.0);
   co_await run_txn(input, ctx);
-  --env_.stats->in_phase1;
+  env_.stats->in_phase1.record_delta(-1.0);
   ctx.phase1_done = env_.engine->now();
   ctx.started = t_begin;
 
   if (input.rollback) {
     // Spec-mandated new-order rollback: nothing applied, latches dropped.
     co_await env_.proc->compute(env_.pl.txn_begin, cpu::JobClass::kApplication, tid);
-    env_.stats->txns_aborted.add();
+    env_.stats->txns_aborted.record();
     co_return false;
   }
   const bool committed = co_await commit(ctx);
   if (committed) {
-    env_.stats->txns_committed.add();
-    if (input.type == TxnType::kNewOrder) env_.stats->new_orders_committed.add();
-    // Latency budget of this transaction, by phase.
-    env_.stats->t_total.add(env_.engine->now() - ctx.started);
-    env_.stats->t_phase1.add(ctx.phase1_done - ctx.started);
-    env_.stats->t_locks.add(ctx.lock_time);
-    env_.stats->t_log.add(ctx.log_time);
-    env_.stats->t_apply.add(ctx.apply_time);
+    env_.stats->txns_committed.record();
+    if (input.type == TxnType::kNewOrder) env_.stats->new_orders_committed.record();
+    // Latency budget of this transaction, by phase and by type.
+    const sim::Duration total = env_.engine->now() - ctx.started;
+    env_.stats->t_total.record(total);
+    env_.stats->t_by_type[static_cast<std::size_t>(input.type)].record(total);
+    env_.stats->t_phase1.record(ctx.phase1_done - ctx.started);
+    env_.stats->t_locks.record(ctx.lock_time);
+    env_.stats->t_log.record(ctx.log_time);
+    env_.stats->t_apply.record(ctx.apply_time);
+    DCLUE_TRACE_SPAN("txn", kTxnTraceNames[static_cast<std::size_t>(input.type)],
+                     ctx.started, env_.engine->now(),
+                     static_cast<std::uint32_t>(env_.node_id));
   } else {
-    env_.stats->txns_aborted.add();
+    env_.stats->txns_aborted.record();
+    DCLUE_TRACE_INSTANT("txn", "abort", env_.engine->now(),
+                        static_cast<std::uint32_t>(env_.node_id));
   }
   co_return committed;
 }
@@ -425,25 +439,27 @@ sim::Task<bool> TpccExecutor::commit(TxnCtx& ctx) {
     std::size_t acquired = 0;
     bool all_granted = true;
     for (std::size_t i = 0; i < ctx.locks.size(); ++i) {
-      env_.stats->lock_acquisitions.add();
+      env_.stats->lock_acquisitions.record();
       bool granted = co_await env_.fusion->lock_try(ctx.locks[i].name,
                                                     ctx.locks[i].home, ctx.token);
       if (!granted && i == 0) {
         // Wait on the first lock in the sequence (holding nothing: safe).
-        env_.stats->lock_waits.add();
+        env_.stats->lock_waits.record();
         const sim::Time t0 = env_.engine->now();
-        ++env_.stats->in_lock_wait;
+        env_.stats->in_lock_wait.record_delta(1.0);
         granted = co_await env_.fusion->lock_wait(ctx.locks[i].name,
                                                   ctx.locks[i].home, ctx.token);
-        --env_.stats->in_lock_wait;
-        env_.stats->lock_wait_time.add(env_.engine->now() - t0);
+        env_.stats->in_lock_wait.record_delta(-1.0);
+        env_.stats->lock_wait_time.record(env_.engine->now() - t0);
+        DCLUE_TRACE_SPAN("lock", "lock_wait", t0, env_.engine->now(),
+                         static_cast<std::uint32_t>(env_.node_id));
       }
       if (granted) {
         ++acquired;
         continue;
       }
       // Later failure: release everything and retry after a delay.
-      env_.stats->lock_failures.add();
+      env_.stats->lock_failures.record();
       co_await release_all(ctx, acquired);
       all_granted = false;
       break;
@@ -466,11 +482,11 @@ sim::Task<bool> TpccExecutor::commit(TxnCtx& ctx) {
   if (ctx.log_bytes > 0) {
     env_.stats->dirty_bytes_accum += ctx.log_bytes;
     env_.log->append(std::max<sim::Bytes>(ctx.log_bytes, 512));
-    ++env_.stats->in_log_flush;
+    env_.stats->in_log_flush.record_delta(1.0);
     const sim::Time log_begin = env_.engine->now();
     co_await env_.log->flush();
     ctx.log_time = env_.engine->now() - log_begin;
-    --env_.stats->in_log_flush;
+    env_.stats->in_log_flush.record_delta(-1.0);
   }
   co_await env_.proc->compute(env_.pl.txn_commit, cpu::JobClass::kApplication,
                               ctx.tid);

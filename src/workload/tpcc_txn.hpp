@@ -14,7 +14,7 @@
 
 #include "cluster/fusion.hpp"
 #include "core/config.hpp"
-#include "core/metrics.hpp"
+#include "core/node_stats.hpp"
 #include "cpu/processor.hpp"
 #include "db/log_manager.hpp"
 #include "db/tpcc_schema.hpp"

@@ -86,7 +86,8 @@ TEST(IpcService, DataMessageCountsSeparately) {
   h.engine.run();
   EXPECT_EQ(h.stats_a.ipc_data_sent.count(), 1u);
   EXPECT_EQ(h.stats_a.ipc_control_sent.count(), 0u);
-  EXPECT_GE(h.stats_a.ipc_data_bytes, kBlockBaseBytes);
+  EXPECT_GE(h.stats_a.ipc_data_bytes.count(),
+            static_cast<std::uint64_t>(kBlockBaseBytes));
 }
 
 TEST(IpcService, EarlyReplyBeforeAwaitIsNotLost) {

@@ -1,13 +1,13 @@
-#include "sim/stats.hpp"
+#include "sim/obs/stats.hpp"
 
 #include <gtest/gtest.h>
 
-namespace dclue::sim {
+namespace dclue::obs {
 namespace {
 
 TEST(Tally, BasicMoments) {
   Tally t;
-  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.add(x);
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.record(x);
   EXPECT_EQ(t.count(), 8u);
   EXPECT_DOUBLE_EQ(t.mean(), 5.0);
   EXPECT_NEAR(t.variance(), 32.0 / 7.0, 1e-12);
@@ -25,52 +25,87 @@ TEST(Tally, EmptyIsZero) {
 
 TEST(Tally, ResetClears) {
   Tally t;
-  t.add(5.0);
+  t.record(5.0);
   t.reset();
   EXPECT_EQ(t.count(), 0u);
   EXPECT_EQ(t.mean(), 0.0);
 }
 
-TEST(TimeWeighted, PiecewiseConstantAverage) {
-  TimeWeighted tw;
-  tw.set(0.0, 2.0);   // value 2 on [0, 4)
-  tw.set(4.0, 6.0);   // value 6 on [4, 8)
+TEST(Tally, MergeMatchesCombinedStream) {
+  Tally a, b, all;
+  for (double x : {1.0, 2.0, 3.0}) {
+    a.record(x);
+    all.record(x);
+  }
+  for (double x : {10.0, 20.0}) {
+    b.record(x);
+    all.record(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(TimeWeightedAvg, PiecewiseConstantAverage) {
+  TimeWeightedAvg tw;
+  tw.record(0.0, 2.0);  // value 2 on [0, 4)
+  tw.record(4.0, 6.0);  // value 6 on [4, 8)
   EXPECT_DOUBLE_EQ(tw.average(8.0), 4.0);
   EXPECT_DOUBLE_EQ(tw.current(), 6.0);
 }
 
-TEST(TimeWeighted, AdjustAddsDelta) {
-  TimeWeighted tw;
-  tw.adjust(0.0, 3.0);
-  tw.adjust(1.0, -1.0);
+TEST(TimeWeightedAvg, RecordDeltaAddsToLevel) {
+  TimeWeightedAvg tw;
+  tw.record_delta(0.0, 3.0);
+  tw.record_delta(1.0, -1.0);
   EXPECT_DOUBLE_EQ(tw.current(), 2.0);
   EXPECT_DOUBLE_EQ(tw.average(2.0), 2.5);
 }
 
-TEST(TimeWeighted, ResetStartsNewWindow) {
-  TimeWeighted tw;
-  tw.set(0.0, 10.0);
+TEST(TimeWeightedAvg, ResetStartsNewWindowKeepingLevel) {
+  TimeWeightedAvg tw;
+  tw.record(0.0, 10.0);
   tw.reset(5.0);
   EXPECT_DOUBLE_EQ(tw.average(10.0), 10.0);
-  tw.set(7.0, 0.0);
+  tw.record(7.0, 0.0);
   EXPECT_DOUBLE_EQ(tw.average(9.0), 5.0);  // 10 for 2s, 0 for 2s
 }
 
-TEST(Counter, AddAndReset) {
+TEST(Counter, RecordAndReset) {
   Counter c;
-  c.add();
-  c.add(4);
+  c.record();
+  c.record(4);
   EXPECT_EQ(c.count(), 5u);
   c.reset();
   EXPECT_EQ(c.count(), 0u);
 }
 
+TEST(Accum, RecordSumsAndResets) {
+  Accum a;
+  a.record(1.5);
+  a.record(2.5);
+  EXPECT_DOUBLE_EQ(a.value(), 4.0);
+  a.reset();
+  EXPECT_DOUBLE_EQ(a.value(), 0.0);
+}
+
+TEST(Gauge, LevelAndDelta) {
+  Gauge g;
+  g.record(3.0);
+  g.record_delta(2.0);
+  g.record_delta(-4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
 TEST(Histogram, BinsAndClamping) {
   Histogram h(0.0, 10.0, 10);
-  h.add(0.5);
-  h.add(9.5);
-  h.add(-5.0);   // clamps to first bin
-  h.add(100.0);  // clamps to last bin
+  h.record(0.5);
+  h.record(9.5);
+  h.record(-5.0);   // clamps to first bin
+  h.record(100.0);  // clamps to last bin
   EXPECT_EQ(h.bins()[0], 2u);
   EXPECT_EQ(h.bins()[9], 2u);
   EXPECT_EQ(h.tally().count(), 4u);
@@ -78,10 +113,49 @@ TEST(Histogram, BinsAndClamping) {
 
 TEST(Histogram, QuantileApproximation) {
   Histogram h(0.0, 100.0, 100);
-  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  for (int i = 0; i < 100; ++i) h.record(i + 0.5);
   EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
   EXPECT_NEAR(h.quantile(0.95), 95.0, 1.5);
 }
 
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileSingleSample) {
+  Histogram h(0.0, 10.0, 10);
+  h.record(3.0);
+  // Every quantile lands in the one occupied bin [3, 4).
+  const double q50 = h.quantile(0.5);
+  EXPECT_GE(q50, 3.0);
+  EXPECT_LE(q50, 4.0);
+  const double q99 = h.quantile(0.99);
+  EXPECT_GE(q99, 3.0);
+  EXPECT_LE(q99, 4.0);
+}
+
+TEST(Histogram, QuantileOutOfRangeArguments) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.record(i + 0.5);
+  // q <= 0 pins to the lower edge of the first occupied bin's mass; q >= 1
+  // returns the upper bound.
+  EXPECT_LE(h.quantile(0.0), h.quantile(0.5));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 10.0);
+}
+
+TEST(Histogram, ResetClearsBinsAndTally) {
+  Histogram h(0.0, 10.0, 4);
+  h.record(1.0);
+  h.record(9.0);
+  h.reset();
+  EXPECT_EQ(h.tally().count(), 0u);
+  for (std::uint64_t b : h.bins()) EXPECT_EQ(b, 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
 }  // namespace
-}  // namespace dclue::sim
+}  // namespace dclue::obs
