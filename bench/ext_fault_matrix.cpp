@@ -1,0 +1,99 @@
+/// Extension: throughput degradation under a misbehaving unified fabric.
+/// The paper assumes a clean Ethernet fabric; this matrix measures what the
+/// cluster loses when the fabric is not clean — a loss-rate sweep crossed
+/// with link-flap episodes, both injected by the deterministic fault
+/// subsystem (sim/fault). TCP's fast-retransmit/RTO machinery absorbs the
+/// damage at the transport layer; what survives to the DBMS shows up as
+/// longer control-message delays, lock waits and lost tpm-C. Every point's
+/// registry snapshot carries the fault.* counters, so the report records
+/// exactly how much damage each point actually took.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+
+using namespace dclue;
+
+namespace {
+
+core::ClusterConfig faulted(double drop, int flaps) {
+  core::ClusterConfig cfg = bench::base_config();
+  cfg.nodes = 4;
+  cfg.affinity = 0.8;
+  cfg.warmup = 4.0;
+  cfg.measure = 16.0;
+  char spec[128];
+  std::snprintf(spec, sizeof(spec),
+                "flaps=%d,flap_down=0.25,drop=%g,corrupt=%g,"
+                "latency=0.005,jitter=0.002",
+                flaps, drop, drop / 4.0);
+  cfg.fault_spec = spec;
+  return cfg;
+}
+
+double metric(const core::RunReport& r, const char* name) {
+  const obs::MetricValue* m = r.registry.find(name);
+  return m ? m->value : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Scenario sweep("ext_fault_matrix", "Extension",
+                        "tpm-C degradation: loss rate x link-flap frequency",
+                        "drop_rate", argc, argv);
+  const std::vector<double> drops =
+      bench::fast_mode() ? std::vector<double>{0.0, 0.02}
+                         : std::vector<double>{0.0, 0.01, 0.03, 0.06};
+  const std::vector<int> flap_counts =
+      bench::fast_mode() ? std::vector<int>{0, 2} : std::vector<int>{0, 2, 4};
+
+  for (int flaps : flap_counts) {
+    for (double drop : drops) {
+      sweep.add(drop, faulted(drop, flaps));
+    }
+  }
+  // One seed's flap placement is worth ~1% of tpm-C — average a few plans
+  // per point in the full run so the loss-rate signal clears that noise.
+  // The fast smoke keeps the single-seed run (its coarse grid is clean).
+  if (bench::fast_mode()) {
+    sweep.run();
+  } else {
+    sweep.run_avg(3);
+  }
+
+  core::SeriesTable table("4 nodes, affinity 0.8: drop rate x flaps");
+  table.add_column("drop");
+  table.add_column("flaps");
+  table.add_column("tpmC_k");
+  table.add_column("ctl_ms");
+  table.add_column("lockw_ms");
+  table.add_column("abort%");
+  table.add_column("drops");
+  table.add_column("corrupt");
+  std::size_t k = 0;
+  bool monotone = true;
+  for (int flaps : flap_counts) {
+    double prev_tpmc = -1.0;
+    for (double drop : drops) {
+      const core::RunReport& r = sweep[k];
+      ++k;
+      table.add_row({drop, static_cast<double>(flaps), r.tpmc / 1000.0,
+                     r.control_msg_delay_ms, r.lock_wait_time_ms,
+                     100.0 * r.abort_rate, metric(r, "fault.link_drops"),
+                     metric(r, "fault.link_corrupts")});
+      if (prev_tpmc >= 0.0 && r.tpmc > prev_tpmc) monotone = false;
+      prev_tpmc = r.tpmc;
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: each flap row degrades monotonically with loss rate%s —\n"
+      "TCP recovers every byte (streams stay exact), but retransmit delay\n"
+      "inflates the control-message RTT that lock grants and cache-fusion\n"
+      "transfers ride on, so throughput erodes long before anything fails.\n",
+      monotone ? "" : " (VIOLATED at this scale!)");
+  return 0;
+}

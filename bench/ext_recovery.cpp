@@ -61,6 +61,24 @@ int main(int argc, char** argv) {
     }
     if (!done) std::fprintf(stderr, "warning: recovery did not converge\n");
     recoveries[i] = rec;
+
+    // Ride the recovery outcome along in the point's registry snapshot, so
+    // REPORT_ext_recovery.json carries both sides of the trade-off and CI
+    // can assert the metrics exist (check_report.py --expect-metric).
+    auto gauge = [&r](const char* name, double value) {
+      obs::MetricValue m;
+      m.name = name;
+      m.kind = obs::MetricKind::kGauge;
+      m.value = value;
+      r.registry.metrics.push_back(std::move(m));
+    };
+    gauge("recovery.total_seconds", rec.total_seconds);
+    gauge("recovery.gather_seconds", rec.gather_seconds);
+    gauge("recovery.merge_seconds", rec.merge_seconds);
+    gauge("recovery.redo_seconds", rec.redo_seconds);
+    gauge("recovery.log_bytes", static_cast<double>(rec.log_bytes));
+    gauge("recovery.records", static_cast<double>(rec.records));
+    gauge("recovery.checkpoints_taken", static_cast<double>(ckpt.checkpoints_taken()));
     return r;
   });
 

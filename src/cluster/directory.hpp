@@ -89,6 +89,33 @@ class DirectoryService {
     return it == entries_.end() ? 0 : static_cast<int>(it->second.holders.size());
   }
 
+  /// Crash cleanup: forget \p node as holder / exclusive owner of every
+  /// page it held (its cache is gone, it can no longer supply blocks).
+  /// Returns the number of entries the node was removed from.
+  std::size_t purge_holder(int node) {
+    std::size_t purged = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      auto& holders = it->second.holders;
+      const auto removed =
+          std::remove(holders.begin(), holders.end(), node);
+      const bool touched = removed != holders.end() ||
+                           it->second.exclusive_owner == node;
+      holders.erase(removed, holders.end());
+      if (it->second.exclusive_owner == node) it->second.exclusive_owner = -1;
+      if (touched) ++purged;
+      if (holders.empty()) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return purged;
+  }
+
+  /// The directory node itself crashed: its table restarts empty (holders
+  /// re-register through confirm/lookup traffic after recovery).
+  void clear() { entries_.clear(); }
+
  private:
   struct Entry {
     std::vector<int> holders;

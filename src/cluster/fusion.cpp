@@ -108,13 +108,17 @@ sim::Task<void> FusionLayer::fetch_miss(db::PageId page, bool exclusive,
           std::make_shared<BlockForwardBody>(
               BlockForwardBody{page, d_.node_id, data_req}));
       d_.stats->in_block_wait.record_delta(1.0);
-      co_await d_.ipc->await_reply(data_req);
+      auto data = co_await d_.ipc->await_reply(data_req);
       d_.stats->in_block_wait.record_delta(-1.0);
-      d_.stats->remote_fetches.record();
-      note_remote(page);
-      co_return;
+      if (data) {
+        d_.stats->remote_fetches.record();
+        note_remote(page);
+        co_return;
+      }
+      // Supplier crashed before transferring: fall back to the disk read.
+    } else {
+      has_supplier = result.has_supplier;
     }
-    has_supplier = result.has_supplier;
   } else {
     const std::uint64_t data_req = d_.ipc->new_req_id();
     // Hoisted out of the co_await expression: GCC 12 double-destroys
@@ -124,19 +128,29 @@ sim::Task<void> FusionLayer::fetch_miss(db::PageId page, bool exclusive,
     d_.stats->in_dir_rpc.record_delta(1.0);
     auto reply_any = co_await d_.ipc->rpc(home, kDirRequest, req_body);
     d_.stats->in_dir_rpc.record_delta(-1.0);
-    auto reply = std::static_pointer_cast<DirReplyBody>(reply_any);
-    if (!upgrade_only && reply->has_supplier) {
-      d_.stats->in_block_wait.record_delta(1.0);
-      co_await d_.ipc->await_reply(data_req);
-      d_.stats->in_block_wait.record_delta(-1.0);
-      d_.stats->remote_fetches.record();
-      note_remote(page);
-      // "A eventually informs B of successful retrieval."
-      d_.ipc->send_control(home, kDirConfirm,
-                           std::make_shared<PageBody>(PageBody{page}));
-      co_return;
+    if (!reply_any) {
+      // Directory home crashed mid-RPC. Drop the data correlation id (a
+      // straggler transfer must not park in the pending table forever) and
+      // fall back to the disk read below.
+      d_.ipc->discard_reply(data_req);
+    } else {
+      auto reply = std::static_pointer_cast<DirReplyBody>(reply_any);
+      if (!upgrade_only && reply->has_supplier) {
+        d_.stats->in_block_wait.record_delta(1.0);
+        auto data = co_await d_.ipc->await_reply(data_req);
+        d_.stats->in_block_wait.record_delta(-1.0);
+        if (data) {
+          d_.stats->remote_fetches.record();
+          note_remote(page);
+          // "A eventually informs B of successful retrieval."
+          d_.ipc->send_control(home, kDirConfirm,
+                               std::make_shared<PageBody>(PageBody{page}));
+          co_return;
+        }
+        // Supplier crashed before transferring: read from disk instead.
+      }
+      has_supplier = reply->has_supplier;
     }
-    has_supplier = reply->has_supplier;
   }
 
   if (upgrade_only) co_return;  // permission granted; data already local
@@ -247,6 +261,9 @@ sim::Task<bool> FusionLayer::lock_try(db::LockName name, int home,
   if (home == d_.node_id) co_return d_.locks->try_acquire(name, txn);
   auto body = std::make_shared<LockBody>(LockBody{name, txn, false});
   auto reply = co_await d_.ipc->rpc(home, kLockAcquire, body);
+  // Null reply: the lock home crashed mid-RPC. Treat as not granted; the
+  // executor's release-and-retry path handles it like any lock failure.
+  if (!reply) co_return false;
   co_return std::static_pointer_cast<LockReplyBody>(reply)->granted;
 }
 
@@ -256,6 +273,7 @@ sim::Task<bool> FusionLayer::lock_wait(db::LockName name, int home,
   if (home == d_.node_id) co_return co_await d_.locks->acquire_wait(name, txn, 0.0);
   auto body = std::make_shared<LockBody>(LockBody{name, txn, true});
   auto reply = co_await d_.ipc->rpc(home, kLockAcquire, body);
+  if (!reply) co_return false;  // lock home crashed; caller retries or aborts
   co_return std::static_pointer_cast<LockReplyBody>(reply)->granted;
 }
 

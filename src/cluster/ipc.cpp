@@ -1,7 +1,5 @@
 #include "cluster/ipc.hpp"
 
-#include <cassert>
-
 #include "sim/obs/trace.hpp"
 
 namespace dclue::cluster {
@@ -14,7 +12,13 @@ void IpcService::attach_peer(int peer, std::shared_ptr<proto::MsgChannel> channe
 void IpcService::send_control(int dst, IpcType type, std::shared_ptr<void> body,
                               std::uint64_t req_id) {
   auto it = peers_.find(dst);
-  assert(it != peers_.end());
+  if (it == peers_.end()) {
+    // Peer channel gone (reset under a long outage). Dropping the send is the
+    // crash-consistent behaviour: the waiter times out or is failed by the
+    // fault path, never blocked on an unreachable peer.
+    ++dropped_sends_;
+    return;
+  }
   stats_.ipc_control_sent.record();
   stats_.ipc_control_bytes.record(kControlMsgBytes);
   sent_by_type_[static_cast<std::size_t>(type)].record();
@@ -30,7 +34,10 @@ void IpcService::send_control(int dst, IpcType type, std::shared_ptr<void> body,
 void IpcService::send_data(int dst, IpcType type, sim::Bytes bytes,
                            std::shared_ptr<void> body, std::uint64_t req_id) {
   auto it = peers_.find(dst);
-  assert(it != peers_.end());
+  if (it == peers_.end()) {
+    ++dropped_sends_;
+    return;
+  }
   stats_.ipc_data_sent.record();
   stats_.ipc_data_bytes.record(static_cast<std::uint64_t>(bytes));
   sent_by_type_[static_cast<std::size_t>(type)].record();
@@ -68,12 +75,17 @@ sim::Task<std::shared_ptr<void>> IpcService::await_reply(std::uint64_t req_id) {
 
 sim::DetachedTask IpcService::reader_loop(int peer,
                                           std::shared_ptr<proto::MsgChannel> ch) {
-  (void)peer;
   for (;;) {
     proto::Message msg = co_await ch->inbox().receive();
     if (msg.type >= proto::kChannelClosed) {
       // The paper avoids DBMS connection resets by raising the TCP
       // retransmission limit; if one happens anyway, the peer is gone.
+      // Deliberately over-approximate: fail every in-flight exchange, not
+      // just this peer's (correlation ids do not record the peer). Waiters
+      // toward healthy peers take their degraded fallback once — safe,
+      // deterministic, and resets are rare even under injected faults.
+      fail_all_pending();
+      peers_.erase(peer);
       co_return;
     }
     // Application-level IPC handling cost (the receive interrupts
@@ -85,6 +97,37 @@ sim::DetachedTask IpcService::reader_loop(int peer,
     auto env = std::static_pointer_cast<Envelope>(msg.payload);
     dispatch(std::move(*env), msg.type);
   }
+}
+
+std::size_t IpcService::fail_all_pending() {
+  // Snapshot ids first: Gate::open defers resumption through the engine, but
+  // waiters erase their own slots and may start new exchanges, so the map
+  // must not be iterated while being mutated.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, slot] : pending_) ids.push_back(id);
+  std::size_t failed = 0;
+  for (const std::uint64_t id : ids) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    Pending& slot = it->second;
+    if (slot.gate) {
+      // A parked waiter: resume it with a null body. The waiter erases the
+      // slot when it runs.
+      slot.body = nullptr;
+      slot.arrived = true;
+      slot.gate->open();
+    } else {
+      // Reply arrived before its await, or never will: the requester is
+      // blocked inside another exchange of the same protocol step (which
+      // this loop also fails), so it takes its fallback and never awaits
+      // this id. Drop the slot.
+      pending_.erase(it);
+    }
+    ++failed;
+  }
+  failed_rpcs_ += failed;
+  return failed;
 }
 
 void IpcService::dispatch(Envelope env, std::uint32_t type) {

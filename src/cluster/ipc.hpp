@@ -112,6 +112,22 @@ class IpcService {
   /// Allocate a correlation id for a multi-party exchange.
   std::uint64_t new_req_id() { return next_req_id_++; }
 
+  /// Fail every in-flight request/response exchange: waiters resume with a
+  /// null body (their degraded-path fallback); replies that arrived for
+  /// exchanges whose waiter is itself being failed are discarded. Called on
+  /// node crash (cluster-wide) and on an IPC channel reset. Returns the
+  /// number of exchanges failed.
+  std::size_t fail_all_pending();
+
+  /// Drop a correlation id allocated for an exchange that was abandoned
+  /// before its await (e.g. the setup RPC failed); keeps an early-arriving
+  /// reply from parking in pending_ forever.
+  void discard_reply(std::uint64_t req_id) { pending_.erase(req_id); }
+
+  [[nodiscard]] std::uint64_t failed_rpcs() const { return failed_rpcs_; }
+  [[nodiscard]] std::uint64_t dropped_sends() const { return dropped_sends_; }
+  [[nodiscard]] std::size_t rpcs_pending() const { return pending_.size(); }
+
   [[nodiscard]] int node_id() const { return node_id_; }
   [[nodiscard]] bool connected_to(int peer) const {
     return peers_.contains(peer);
@@ -148,6 +164,8 @@ class IpcService {
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_req_id_ = 1;
   std::array<obs::Counter, kNumIpcTypes> sent_by_type_;
+  std::uint64_t failed_rpcs_ = 0;
+  std::uint64_t dropped_sends_ = 0;
 };
 
 }  // namespace dclue::cluster

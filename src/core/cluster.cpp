@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "cluster/partition.hpp"
+#include "core/fault_injector.hpp"
+#include "core/recovery.hpp"
+#include "sim/obs/trace.hpp"
 
 namespace dclue::core {
 
@@ -23,6 +26,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), rngs_(cfg_.seed) {
   build_clients();
   build_cross_traffic();
   register_metrics();
+  build_fault_injector();
 }
 
 Cluster::~Cluster() = default;
@@ -150,6 +154,81 @@ void Cluster::build_cross_traffic() {
   xtra_stacks_.push_back(std::move(stack));
 }
 
+void Cluster::build_fault_injector() {
+  if (cfg_.fault_spec.empty()) return;
+  sim::fault::FaultSpec spec = sim::fault::parse_fault_spec(cfg_.fault_spec);
+  // Unspecified windows default to the measurement window: faults start at
+  // the warmup boundary and the last 20% is left fault-free so recoveries
+  // finish inside the run.
+  if (spec.start < 0.0) spec.start = cfg_.warmup;
+  if (spec.span <= 0.0) spec.span = 0.8 * cfg_.measure;
+  sim::Rng plan_rng = rngs_.stream("fault.plan");
+  injector_ = std::make_unique<FaultInjector>(
+      *this, sim::fault::generate_plan(spec, cfg_.nodes, plan_rng), rngs_);
+  register_fault_metrics();
+}
+
+void Cluster::crash_node(int id) {
+  Node& dead = node(id);
+  if (!dead.alive()) return;
+  ++crashes_;
+  DCLUE_TRACE_INSTANT("fault", "node_crash", engine_.now(), id);
+  // Crash-stop: the executor aborts every transaction at its next liveness
+  // check, so the dead node applies no further writes.
+  dead.set_alive(false);
+  // Its access links go dark. TCP peers keep state and retransmit; segments
+  // simply stop flowing until restart.
+  topo_->server_uplink(id).set_link_down(true);
+  topo_->server_downlink(id).set_link_down(true);
+  // Fail every in-flight IPC exchange cluster-wide. This over-approximates
+  // (exchanges between two healthy nodes fail too — correlation ids do not
+  // record the peer) but is deterministic and safe: each waiter takes its
+  // degraded fallback (disk read / lock retry) exactly once.
+  for (auto& n : nodes_) n->ipc().fail_all_pending();
+  const int num = cfg_.nodes;
+  for (int i = 0; i < num; ++i) {
+    Node& n = node(i);
+    if (i == id) {
+      // The crashed node's own volatile state is simply gone.
+      locks_purged_ += n.locks().purge_if([](db::TxnToken) { return true; });
+      dir_purged_ += n.directory().entries();
+      n.directory().clear();
+      cache_invalidated_ +=
+          n.cache().invalidate_if([](db::PageId) { return true; });
+    } else {
+      // Re-master: tokens are minted as seq * num_nodes + node_id, so the
+      // dead node's transactions are exactly token % num == id.
+      locks_purged_ += n.locks().purge_if([num, id](db::TxnToken t) {
+        return static_cast<int>(t % static_cast<db::TxnToken>(num)) == id;
+      });
+      dir_purged_ += n.directory().purge_holder(id);
+      // Pages whose directory home died must be dropped: the restarted
+      // directory comes back empty and must not disagree with caches.
+      cache_invalidated_ += n.cache().invalidate_if(
+          [&n, id](db::PageId p) { return n.fusion().dir_home(p) == id; });
+    }
+  }
+}
+
+void Cluster::restart_node(int id) {
+  Node& n = node(id);
+  if (n.alive()) return;
+  ++restarts_;
+  DCLUE_TRACE_INSTANT("fault", "node_restart", engine_.now(), id);
+  topo_->server_uplink(id).set_link_down(false);
+  topo_->server_downlink(id).set_link_down(false);
+  // The node rejoins the fabric immediately (TCP retransmits drain), but
+  // accepts transactions only after redo completes on the coordinator.
+  sim::spawn([](Cluster* c, int failed) -> sim::Task<void> {
+    const sim::Time t0 = c->engine().now();
+    const RecoveryReport rep = co_await run_recovery(*c, failed);
+    c->recovery_seconds_ += rep.total_seconds;
+    ++c->recoveries_;
+    c->node(failed).set_alive(true);
+    DCLUE_TRACE_SPAN("fault", "recovery", t0, c->engine().now(), failed);
+  }(this, id));
+}
+
 sim::DetachedTask Cluster::connect_everything() {
   // All sessions are established concurrently (a sequential handshake chain
   // would push cluster bring-up into the measurement window on high-latency
@@ -225,6 +304,95 @@ void Cluster::register_metrics() {
   }
 }
 
+void Cluster::register_fault_metrics() {
+  // Only bound when a fault plan is active, so a clean run's registry (and
+  // therefore golden_fig output) is byte-identical with the subsystem
+  // compiled in.
+  registry_.gauge_fn("fault.injected", [this] {
+    return static_cast<double>(injector_->injected());
+  });
+  registry_.gauge_fn("fault.link_events", [this] {
+    return static_cast<double>(injector_->link_events());
+  });
+  registry_.gauge_fn("fault.disk_events", [this] {
+    return static_cast<double>(injector_->disk_events());
+  });
+  registry_.gauge_fn("fault.node_events", [this] {
+    return static_cast<double>(injector_->node_events());
+  });
+  registry_.gauge_fn("fault.link_drops", [this] {
+    std::uint64_t total = 0;
+    for (int i = 0; i < cfg_.nodes; ++i) {
+      total += topo_->server_uplink(i).fault_drops();
+      total += topo_->server_downlink(i).fault_drops();
+    }
+    return static_cast<double>(total);
+  });
+  registry_.gauge_fn("fault.link_corrupts", [this] {
+    std::uint64_t total = 0;
+    for (int i = 0; i < cfg_.nodes; ++i) {
+      total += topo_->server_uplink(i).fault_corrupts();
+      total += topo_->server_downlink(i).fault_corrupts();
+    }
+    return static_cast<double>(total);
+  });
+  registry_.gauge_fn("fault.nic_fcs_drops", [this] {
+    std::uint64_t total = 0;
+    for (int i = 0; i < cfg_.nodes; ++i) {
+      total += topo_->server_nic(i).fcs_drops();
+    }
+    return static_cast<double>(total);
+  });
+  registry_.gauge_fn("fault.disk_io_errors", [this] {
+    std::uint64_t total = 0;
+    for (auto& n : nodes_) {
+      total += n->data_disk().io_errors() + n->log_disk().io_errors();
+    }
+    return static_cast<double>(total);
+  });
+  registry_.gauge_fn("fault.iscsi_retries", [this] {
+    std::uint64_t total = 0;
+    for (auto& n : nodes_) total += n->iscsi_target().io_retries();
+    return static_cast<double>(total);
+  });
+  registry_.gauge_fn("fault.iscsi_failed_ops", [this] {
+    std::uint64_t total = 0;
+    for (int i = 0; i < cfg_.nodes; ++i) {
+      for (int j = 0; j < cfg_.nodes; ++j) {
+        if (i != j) total += node(i).iscsi_initiator(j).failed_ops();
+      }
+    }
+    return static_cast<double>(total);
+  });
+  registry_.gauge_fn("fault.ipc_failed_rpcs", [this] {
+    std::uint64_t total = 0;
+    for (auto& n : nodes_) total += n->ipc().failed_rpcs();
+    return static_cast<double>(total);
+  });
+  registry_.gauge_fn("fault.ipc_dropped_sends", [this] {
+    std::uint64_t total = 0;
+    for (auto& n : nodes_) total += n->ipc().dropped_sends();
+    return static_cast<double>(total);
+  });
+  registry_.gauge_fn("fault.locks_purged", [this] {
+    return static_cast<double>(locks_purged_);
+  });
+  registry_.gauge_fn("fault.dir_purged", [this] {
+    return static_cast<double>(dir_purged_);
+  });
+  registry_.gauge_fn("fault.cache_invalidated", [this] {
+    return static_cast<double>(cache_invalidated_);
+  });
+  registry_.gauge_fn("fault.crashes",
+                     [this] { return static_cast<double>(crashes_); });
+  registry_.gauge_fn("fault.restarts",
+                     [this] { return static_cast<double>(restarts_); });
+  registry_.gauge_fn("fault.recoveries",
+                     [this] { return static_cast<double>(recoveries_); });
+  registry_.gauge_fn("fault.recovery_seconds",
+                     [this] { return recovery_seconds_; });
+}
+
 void Cluster::reset_all_stats() {
   // One reset surface: bound collectors reset directly, subsystems with
   // internal per-instance stats (topology access links, disk-array
@@ -292,6 +460,7 @@ RunReport Cluster::run() {
   version_gc_loop();
   for (auto& fleet : fleets_) fleet->start();
   for (auto& ftp : ftp_clients_) ftp->start();
+  if (injector_) injector_->arm();
 
   engine_.run_until(cfg_.warmup);
   reset_all_stats();

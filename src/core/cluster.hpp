@@ -22,6 +22,8 @@
 
 namespace dclue::core {
 
+class FaultInjector;
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig cfg);
@@ -48,12 +50,35 @@ class Cluster {
   [[nodiscard]] obs::MetricsRegistry& metrics() { return registry_; }
   [[nodiscard]] const obs::MetricsRegistry& metrics() const { return registry_; }
 
+  // --- fault injection -------------------------------------------------------
+  /// Crash-stop node \p id: liveness off, access links down, every in-flight
+  /// IPC exchange failed cluster-wide, its locks re-mastered, its directory
+  /// and cache state purged. Idempotent while the node is down.
+  void crash_node(int id);
+  /// Bring node \p id back: links up, run_recovery() on a surviving
+  /// coordinator, liveness restored only once redo completes.
+  void restart_node(int id);
+  [[nodiscard]] bool node_alive(int id) { return node(id).alive(); }
+  /// Null unless the config carried a non-empty fault_spec.
+  [[nodiscard]] FaultInjector* fault_injector() { return injector_.get(); }
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  [[nodiscard]] double recovery_seconds() const { return recovery_seconds_; }
+  [[nodiscard]] std::uint64_t locks_purged() const { return locks_purged_; }
+  [[nodiscard]] std::uint64_t directory_purged() const { return dir_purged_; }
+  [[nodiscard]] std::uint64_t cache_invalidated() const {
+    return cache_invalidated_;
+  }
+
  private:
   void build_topology();
   void build_nodes();
   void build_clients();
   void build_cross_traffic();
+  void build_fault_injector();
   void register_metrics();
+  void register_fault_metrics();
   void prewarm();
   sim::DetachedTask connect_everything();
   sim::DetachedTask version_gc_loop();
@@ -74,6 +99,14 @@ class Cluster {
   std::unique_ptr<sim::Gate> ready_;
   std::uint64_t global_clock_ = 1;
   obs::MetricsRegistry registry_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t recoveries_ = 0;
+  double recovery_seconds_ = 0.0;
+  std::uint64_t locks_purged_ = 0;
+  std::uint64_t dir_purged_ = 0;
+  std::uint64_t cache_invalidated_ = 0;
 };
 
 }  // namespace dclue::core

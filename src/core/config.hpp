@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 
 #include "cpu/params.hpp"
 #include "net/qos.hpp"
@@ -138,6 +139,11 @@ struct ClusterConfig {
 
   std::uint64_t seed = 1;
   PathLengths path_lengths;
+
+  /// Fault-injection plan spec ("flaps=4,drop=0.01,crashes=1", see
+  /// sim/fault/fault.hpp). Empty = no injector built, zero overhead on the
+  /// datapath, and the metrics registry is byte-identical to a clean run.
+  std::string fault_spec;
 
   [[nodiscard]] int latas() const {
     return (nodes + max_servers_per_lata - 1) / max_servers_per_lata;

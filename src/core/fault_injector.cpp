@@ -1,0 +1,76 @@
+#include "core/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "core/cluster.hpp"
+#include "sim/obs/trace.hpp"
+
+namespace dclue::core {
+
+FaultInjector::FaultInjector(Cluster& cluster, sim::fault::FaultPlan plan,
+                             const sim::RngFactory& rngs)
+    : cluster_(cluster),
+      plan_(std::move(plan)),
+      link_rng_(rngs.stream("fault.link")),
+      disk_rng_(rngs.stream("fault.disk")) {}
+
+void FaultInjector::arm() {
+  auto& engine = cluster_.engine();
+  for (const sim::fault::FaultEvent& e : plan_.events) {
+    const sim::Duration delay = std::max(0.0, e.at - engine.now());
+    engine.after(delay, [this, &e] { apply(e); });
+  }
+}
+
+void FaultInjector::apply(const sim::fault::FaultEvent& e) {
+  ++injected_;
+  DCLUE_TRACE_INSTANT("fault", sim::fault::fault_kind_name(e.kind),
+                      cluster_.engine().now(), e.target);
+  auto& topo = cluster_.topology();
+  switch (e.kind) {
+    case sim::fault::FaultKind::kLinkDown:
+      ++link_events_;
+      topo.server_uplink(e.target).set_link_down(true);
+      topo.server_downlink(e.target).set_link_down(true);
+      break;
+    case sim::fault::FaultKind::kLinkUp:
+      ++link_events_;
+      topo.server_uplink(e.target).set_link_down(false);
+      topo.server_downlink(e.target).set_link_down(false);
+      break;
+    case sim::fault::FaultKind::kLinkDegrade:
+      ++link_events_;
+      topo.server_uplink(e.target).set_degradation(
+          e.drop_rate, e.corrupt_rate, e.extra_latency, e.jitter, &link_rng_);
+      topo.server_downlink(e.target).set_degradation(
+          e.drop_rate, e.corrupt_rate, e.extra_latency, e.jitter, &link_rng_);
+      break;
+    case sim::fault::FaultKind::kLinkClear:
+      ++link_events_;
+      topo.server_uplink(e.target).clear_degradation();
+      topo.server_downlink(e.target).clear_degradation();
+      break;
+    case sim::fault::FaultKind::kNodeCrash:
+      ++node_events_;
+      cluster_.crash_node(e.target);
+      break;
+    case sim::fault::FaultKind::kNodeRestart:
+      ++node_events_;
+      cluster_.restart_node(e.target);
+      break;
+    case sim::fault::FaultKind::kDiskDegrade:
+      ++disk_events_;
+      cluster_.node(e.target).data_disk().set_fault(
+          e.disk_latency_factor, e.disk_error_rate, &disk_rng_);
+      cluster_.node(e.target).log_disk().set_fault(
+          e.disk_latency_factor, e.disk_error_rate, &disk_rng_);
+      break;
+    case sim::fault::FaultKind::kDiskClear:
+      ++disk_events_;
+      cluster_.node(e.target).data_disk().clear_fault();
+      cluster_.node(e.target).log_disk().clear_fault();
+      break;
+  }
+}
+
+}  // namespace dclue::core

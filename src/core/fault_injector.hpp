@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file fault_injector.hpp
+/// Applies a FaultPlan to a built Cluster. The injector is a thin,
+/// deterministic scheduler: arm() posts one engine event per FaultEvent at
+/// its absolute plan time, and apply() translates the event into the hook
+/// calls the subsystems expose (Link degradation, Disk fault knobs,
+/// Cluster::crash_node / restart_node). All randomness the hooks consume at
+/// packet / IO granularity comes from the two streams owned here
+/// ("fault.link", "fault.disk"), so a given plan replays bit-identically
+/// regardless of what the workload does around it.
+
+#include <cstdint>
+
+#include "sim/fault/fault.hpp"
+#include "sim/rng.hpp"
+
+namespace dclue::core {
+
+class Cluster;
+
+class FaultInjector {
+ public:
+  FaultInjector(Cluster& cluster, sim::fault::FaultPlan plan,
+                const sim::RngFactory& rngs);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule every plan event on the cluster engine. Call once, before the
+  /// warmup window starts running.
+  void arm();
+
+  [[nodiscard]] const sim::fault::FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t link_events() const { return link_events_; }
+  [[nodiscard]] std::uint64_t disk_events() const { return disk_events_; }
+  [[nodiscard]] std::uint64_t node_events() const { return node_events_; }
+
+ private:
+  void apply(const sim::fault::FaultEvent& e);
+
+  Cluster& cluster_;
+  sim::fault::FaultPlan plan_;
+  sim::Rng link_rng_;
+  sim::Rng disk_rng_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t link_events_ = 0;
+  std::uint64_t disk_events_ = 0;
+  std::uint64_t node_events_ = 0;
+};
+
+}  // namespace dclue::core

@@ -113,6 +113,7 @@ Node::Node(sim::Engine& engine, const ClusterConfig& cfg, int id, net::Nic& nic,
   };
   env.rng = &rng_;
   env.lock_retry_delay = sim::milliseconds(0.3) * cfg.scale;
+  env.alive = &alive_;
   executor_ = std::make_unique<workload::TpccExecutor>(std::move(env));
 }
 

@@ -65,9 +65,17 @@ class Node {
   [[nodiscard]] db::VersionManager& versions() { return *versions_; }
   [[nodiscard]] db::BufferCache& cache() { return *cache_; }
   [[nodiscard]] cluster::DirectoryService& directory() { return *directory_; }
+  [[nodiscard]] db::LockManager& locks() { return *locks_; }
   [[nodiscard]] storage::DiskArray& data_disk() { return *data_disk_; }
+  [[nodiscard]] proto::IscsiTarget& iscsi_target() { return *iscsi_target_; }
   [[nodiscard]] NodeStats& stats() { return stats_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
+
+  /// Crash-stop liveness. While false the executor aborts every transaction
+  /// at its next alive check, so a crashed node applies no writes and holds
+  /// no locks beyond the purge. Flipped by Cluster::crash_node/restart_node.
+  [[nodiscard]] bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
 
   void reset_stats();
 
@@ -102,6 +110,7 @@ class Node {
   sim::Rng rng_;
   NodeStats stats_;
   cpu::ThreadId next_thread_ = 1;
+  bool alive_ = true;
 };
 
 }  // namespace dclue::core

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file report.hpp
+/// Aggregated run outcome (RunReport) plus the machine-readable RunReport
+/// JSON writer every figure bench emits (`--report`). One schema —
+/// "dclue.run_report.v1" — is consumed by scripts/check_report.py and
+/// scripts/bench_compare.py; the full metrics-registry snapshot rides along
+/// with each sweep point so derived observables never need bench-side
+/// plumbing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/obs/registry.hpp"
+
+namespace dclue::core {
+
+/// Aggregated run outcome, scaled back to original-system units.
+struct RunReport {
+  int nodes = 0;
+  double affinity = 0.0;
+  double measure_seconds = 0.0;  ///< scaled sim time measured
+
+  double tpmc = 0.0;              ///< new-orders/min, unscaled equivalent
+  double txn_rate = 0.0;          ///< all txns/sec, scaled domain
+  double txns = 0.0;
+
+  double ipc_control_per_txn = 0.0;
+  double ipc_data_per_txn = 0.0;
+  double control_msg_delay_ms = 0.0;  ///< unscaled ms
+  double lock_waits_per_txn = 0.0;
+  double lock_wait_time_ms = 0.0;     ///< unscaled ms
+  double lock_failures_per_txn = 0.0;
+  double buffer_hit_ratio = 0.0;
+  double disk_reads_per_txn = 0.0;
+  double remote_fetch_per_txn = 0.0;
+
+  double avg_active_threads = 0.0;
+  double avg_context_switch_cycles = 0.0;
+  double avg_cpi = 0.0;
+  double cpu_utilization = 0.0;
+
+  double inter_lata_mbps = 0.0;  ///< unscaled equivalent DBMS+cross traffic
+  std::uint64_t fabric_drops = 0;
+  double abort_rate = 0.0;
+
+  // Latency budget of an average committed transaction (unscaled ms).
+  double txn_ms = 0.0;
+  double txn_phase1_ms = 0.0;
+  double txn_lock_ms = 0.0;
+  double txn_log_ms = 0.0;
+  double txn_apply_ms = 0.0;
+
+  double ftp_carried_mbps = 0.0;  ///< unscaled
+
+  // Client-side accounting
+  double business_txns = 0.0;
+  std::uint64_t admission_drops = 0;
+  std::uint64_t client_conn_failures = 0;
+
+  /// Full metrics-registry snapshot at collection time (every probe in the
+  /// stack, node-prefixed). Averaged replications keep the last
+  /// replication's snapshot.
+  obs::Snapshot registry;
+};
+
+/// Visit every scalar field in the canonical order (the golden fixture's
+/// order). `scalar(name, double)` receives the doubles, `integer(name, u64)`
+/// the counters. New fields must be appended here to appear in fixtures and
+/// reports.
+template <typename ScalarFn, typename IntegerFn>
+void for_each_field(const RunReport& r, ScalarFn&& scalar, IntegerFn&& integer) {
+  scalar("nodes", static_cast<double>(r.nodes));
+  scalar("affinity", r.affinity);
+  scalar("measure_seconds", r.measure_seconds);
+  scalar("tpmc", r.tpmc);
+  scalar("txn_rate", r.txn_rate);
+  scalar("txns", r.txns);
+  scalar("ipc_control_per_txn", r.ipc_control_per_txn);
+  scalar("ipc_data_per_txn", r.ipc_data_per_txn);
+  scalar("control_msg_delay_ms", r.control_msg_delay_ms);
+  scalar("lock_waits_per_txn", r.lock_waits_per_txn);
+  scalar("lock_wait_time_ms", r.lock_wait_time_ms);
+  scalar("lock_failures_per_txn", r.lock_failures_per_txn);
+  scalar("buffer_hit_ratio", r.buffer_hit_ratio);
+  scalar("disk_reads_per_txn", r.disk_reads_per_txn);
+  scalar("remote_fetch_per_txn", r.remote_fetch_per_txn);
+  scalar("avg_active_threads", r.avg_active_threads);
+  scalar("avg_context_switch_cycles", r.avg_context_switch_cycles);
+  scalar("avg_cpi", r.avg_cpi);
+  scalar("cpu_utilization", r.cpu_utilization);
+  scalar("inter_lata_mbps", r.inter_lata_mbps);
+  integer("fabric_drops", r.fabric_drops);
+  scalar("abort_rate", r.abort_rate);
+  scalar("txn_ms", r.txn_ms);
+  scalar("txn_phase1_ms", r.txn_phase1_ms);
+  scalar("txn_lock_ms", r.txn_lock_ms);
+  scalar("txn_log_ms", r.txn_log_ms);
+  scalar("txn_apply_ms", r.txn_apply_ms);
+  scalar("ftp_carried_mbps", r.ftp_carried_mbps);
+  scalar("business_txns", r.business_txns);
+  integer("admission_drops", r.admission_drops);
+  integer("client_conn_failures", r.client_conn_failures);
+}
+
+/// One sweep point of a RunReport file: the axis value, the exact
+/// configuration it ran, and the outcome.
+struct ReportPoint {
+  double axis_value = 0.0;
+  ClusterConfig config;
+  RunReport report;
+};
+
+/// Serialize a full bench run ("dclue.run_report.v1"): bench identity, sweep
+/// axis, and one entry per point with config / report / registry sections.
+[[nodiscard]] std::string run_report_json(const std::string& bench,
+                                          const std::string& title,
+                                          const std::string& sweep_axis,
+                                          const std::vector<ReportPoint>& points);
+
+/// Write run_report_json() to \p path; false on I/O failure.
+bool write_run_report(const std::string& path, const std::string& bench,
+                      const std::string& title, const std::string& sweep_axis,
+                      const std::vector<ReportPoint>& points);
+
+}  // namespace dclue::core

@@ -54,6 +54,24 @@ class BufferCache {
     return true;
   }
 
+  /// Invalidate every resident page matching \p pred (crash cleanup: drop
+  /// pages whose directory home died — the restarted directory is empty, so
+  /// stale residency must not outlive it). Returns pages dropped.
+  template <typename Pred>
+  std::size_t invalidate_if(Pred pred) {
+    std::size_t dropped = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (pred(it->first)) {
+        lru_.erase(it->second.lru_it);
+        it = map_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
   /// Mark recently used.
   void touch(PageId page) {
     auto it = map_.find(page);

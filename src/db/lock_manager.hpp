@@ -47,6 +47,59 @@ class LockManager {
 
   [[nodiscard]] bool is_held(LockName name) const { return table_.contains(name); }
   [[nodiscard]] std::size_t held_count() const { return table_.size(); }
+
+  /// Re-master locks after a node crash: every lock whose holder matches
+  /// \p pred is granted to its oldest live non-matching waiter (matching
+  /// waiters are woken ungranted — their transactions are dead), or erased
+  /// when no such waiter exists. Returns the number of entries purged.
+  template <typename Pred>
+  std::size_t purge_if(Pred pred) {
+    std::size_t purged = 0;
+    for (auto it = table_.begin(); it != table_.end();) {
+      Entry& entry = it->second;
+      if (!pred(entry.holder)) {
+        ++it;
+        continue;
+      }
+      ++purged;
+      bool regranted = false;
+      while (!entry.waiters.empty()) {
+        auto waiter = entry.waiters.front();
+        entry.waiters.pop_front();
+        if (waiter->abandoned) continue;
+        if (pred(waiter->owner)) {
+          // Dead transaction's waiter: wake ungranted so its coroutine
+          // unwinds instead of parking on a purged lock forever.
+          note_waiting(-1);
+          waiter->gate->open();
+          continue;
+        }
+        entry.holder = waiter->owner;
+        waiter->granted = true;
+        note_waiting(-1);
+        waiter->gate->open();
+        regranted = true;
+        break;
+      }
+      if (regranted) {
+        ++it;
+      } else {
+        it = table_.erase(it);
+      }
+    }
+    return purged;
+  }
+
+  /// Count of locks whose current holder matches \p pred (invariant checks:
+  /// "no lock is held by a dead node").
+  template <typename Pred>
+  [[nodiscard]] std::size_t held_matching(Pred pred) const {
+    std::size_t n = 0;
+    for (const auto& [name, entry] : table_) {
+      if (pred(entry.holder)) ++n;
+    }
+    return n;
+  }
   [[nodiscard]] const obs::TimeWeightedAvg& wait_queue_depth() const {
     return wait_queue_depth_;
   }

@@ -5,6 +5,20 @@
 namespace dclue::net {
 
 void Link::deliver(Packet pkt) {
+  if (faulted_) {
+    if (down_) {
+      ++fault_drops_;
+      return;
+    }
+    if (drop_rate_ > 0.0 && fault_rng_->chance(drop_rate_)) {
+      ++fault_drops_;
+      return;
+    }
+    if (corrupt_rate_ > 0.0 && fault_rng_->chance(corrupt_rate_)) {
+      pkt.corrupt = true;
+      ++fault_corrupts_;
+    }
+  }
   if (!queue_.enqueue(std::move(pkt), engine_.now())) return;  // tail drop
   if (!transmitting_) start_transmission();
 }
@@ -25,8 +39,15 @@ void Link::start_transmission() {
   const sim::Duration tx = tx_memo_time_;
   bytes_sent_.record(static_cast<std::uint64_t>(pkt->bytes));
   // Delivery happens after serialization plus propagation; the transmitter
-  // frees up after serialization alone.
-  engine_.after(tx + propagation_, [this, p = *pkt]() mutable {
+  // frees up after serialization alone. A degraded link stretches delivery
+  // (never serialization), so jitter can reorder packets in flight exactly
+  // like a real path change would.
+  sim::Duration delivery = tx + propagation_;
+  if (faulted_) {
+    delivery += extra_latency_;
+    if (jitter_ > 0.0) delivery += fault_rng_->uniform(0.0, jitter_);
+  }
+  engine_.after(delivery, [this, p = *pkt]() mutable {
     if (sink_) sink_->deliver(std::move(p));
   });
   engine_.after(tx, [this] { start_transmission(); });

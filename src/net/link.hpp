@@ -12,6 +12,7 @@
 #include "net/qos.hpp"
 #include "sim/engine.hpp"
 #include "sim/obs/stats.hpp"
+#include "sim/rng.hpp"
 
 namespace dclue::net {
 
@@ -34,6 +35,30 @@ class Link : public PacketSink {
   [[nodiscard]] sim::Duration propagation() const { return propagation_; }
   [[nodiscard]] sim::BitRate rate() const { return rate_; }
   [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// --- fault injection ---------------------------------------------------
+  /// All hooks are gated on one boolean so the clean path costs a single
+  /// predictable branch; no RNG is owned or drawn unless a fault is active.
+  void set_link_down(bool down) {
+    down_ = down;
+    refresh_faulted();
+  }
+  /// Steady degradation: per-packet drop/corrupt probabilities and added
+  /// one-way latency with uniform [0, jitter) spread, drawn from \p rng.
+  void set_degradation(double drop_rate, double corrupt_rate,
+                       sim::Duration extra_latency, sim::Duration jitter,
+                       sim::Rng* rng) {
+    drop_rate_ = drop_rate;
+    corrupt_rate_ = corrupt_rate;
+    extra_latency_ = extra_latency;
+    jitter_ = jitter;
+    fault_rng_ = rng;
+    refresh_faulted();
+  }
+  void clear_degradation() { set_degradation(0.0, 0.0, 0.0, 0.0, nullptr); }
+  [[nodiscard]] bool link_down() const { return down_; }
+  [[nodiscard]] std::uint64_t fault_drops() const { return fault_drops_; }
+  [[nodiscard]] std::uint64_t fault_corrupts() const { return fault_corrupts_; }
 
   /// --- metrics -----------------------------------------------------------
   [[nodiscard]] double utilization(sim::Time now) const {
@@ -60,6 +85,11 @@ class Link : public PacketSink {
  private:
   void start_transmission();
 
+  void refresh_faulted() {
+    faulted_ = down_ || drop_rate_ > 0.0 || corrupt_rate_ > 0.0 ||
+               extra_latency_ > 0.0 || jitter_ > 0.0;
+  }
+
   sim::Engine& engine_;
   std::string name_;
   sim::BitRate rate_;
@@ -75,6 +105,17 @@ class Link : public PacketSink {
   bool transmitting_ = false;
   obs::TimeWeightedAvg busy_;
   obs::Counter bytes_sent_;
+  /// Fault state (see set_link_down / set_degradation). faulted_ is the
+  /// single gate the hot path tests; it is true iff any knob is active.
+  bool faulted_ = false;
+  bool down_ = false;
+  double drop_rate_ = 0.0;
+  double corrupt_rate_ = 0.0;
+  sim::Duration extra_latency_ = 0.0;
+  sim::Duration jitter_ = 0.0;
+  sim::Rng* fault_rng_ = nullptr;  ///< owned by the injector, not the link
+  std::uint64_t fault_drops_ = 0;
+  std::uint64_t fault_corrupts_ = 0;
 };
 
 }  // namespace dclue::net

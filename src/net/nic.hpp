@@ -32,13 +32,22 @@ class Nic : public PacketSink {
   void set_rx_handler(RxHandler fn) { rx_ = std::move(fn); }
 
   void deliver(Packet pkt) override {
+    if (pkt.corrupt) {
+      // Frame check sequence: a corrupted frame dies at the NIC, so the
+      // stack above only ever sees loss (and recovers via retransmission).
+      ++fcs_drops_;
+      return;
+    }
     if (rx_) rx_(std::move(pkt));
   }
+
+  [[nodiscard]] std::uint64_t fcs_drops() const { return fcs_drops_; }
 
  private:
   Address address_;
   Link* uplink_;
   RxHandler rx_;
+  std::uint64_t fcs_drops_ = 0;
 };
 
 }  // namespace dclue::net

@@ -45,6 +45,10 @@ struct Packet {
   Address src = kNoAddress;
   Address dst = kNoAddress;
   Dscp dscp = Dscp::kBestEffort;
+  /// Set by a degraded link's fault hook; the receiving NIC drops the frame
+  /// on its FCS check, so corruption is never visible above L2. Sits in
+  /// padding after dscp — no size growth on the hot path.
+  bool corrupt = false;
   sim::Bytes bytes = 0;  ///< on-wire size including headers
   TcpSegment seg;
   sim::Time enqueued_at = 0.0;  ///< set by queues for delay accounting

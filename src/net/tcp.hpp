@@ -151,6 +151,9 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   [[nodiscard]] sim::Bytes bytes_received() const { return delivered_; }
   [[nodiscard]] sim::Bytes bytes_sent_acked() const { return snd_una_; }
   [[nodiscard]] std::uint64_t retransmits() const { return retransmit_count_; }
+  /// Out-of-order runs currently buffered by reassembly. Must drain back to
+  /// zero once the stream is contiguous (loss-fuzz leak check).
+  [[nodiscard]] std::size_t ooo_ranges() const { return ooo_.size(); }
 
  private:
   friend class TcpStack;

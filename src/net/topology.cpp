@@ -35,6 +35,8 @@ Topology::Topology(sim::Engine& engine, const TopologyParams& params)
       Nic* nic = attach_host(*inner_routers_[lata], "srv", lata * 100 + s,
                              /*register_on_outer=*/true);
       server_nics_.push_back(nic);
+      server_uplinks_.push_back(last_attached_up_);
+      server_downlinks_.push_back(last_attached_down_);
     }
     for (int s = 0; s < params_.extra_servers_per_lata; ++s) {
       Nic* nic = attach_host(*inner_routers_[lata], "xsrv", lata * 100 + s,
@@ -72,6 +74,8 @@ Nic* Topology::attach_host(Router& router, const char* name_prefix, int index,
     }
   }
   Nic* raw = nic.get();
+  last_attached_up_ = up.get();
+  last_attached_down_ = down.get();
   links_.push_back(std::move(up));
   links_.push_back(std::move(down));
   nics_.push_back(std::move(nic));

@@ -51,6 +51,10 @@ class Topology {
   }
 
   [[nodiscard]] Nic& server_nic(int i) { return *server_nics_.at(i); }
+  /// A server's access links (host->router and router->host), the hook
+  /// points for link-fault injection and test interposers.
+  [[nodiscard]] Link& server_uplink(int i) { return *server_uplinks_.at(i); }
+  [[nodiscard]] Link& server_downlink(int i) { return *server_downlinks_.at(i); }
   [[nodiscard]] Nic& client_nic(int i) { return *client_nics_.at(i); }
   [[nodiscard]] Nic& extra_client_nic(int i) { return *extra_client_nics_.at(i); }
   [[nodiscard]] Nic& extra_server_nic(int i) { return *extra_server_nics_.at(i); }
@@ -89,6 +93,10 @@ class Topology {
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<Link*> lata_uplinks_;
   std::vector<Link*> lata_downlinks_;
+  std::vector<Link*> server_uplinks_;
+  std::vector<Link*> server_downlinks_;
+  Link* last_attached_up_ = nullptr;    ///< set by attach_host
+  Link* last_attached_down_ = nullptr;  ///< set by attach_host
   std::vector<Nic*> server_nics_;
   std::vector<Nic*> client_nics_;
   std::vector<Nic*> extra_client_nics_;

@@ -31,6 +31,7 @@ sim::Task<void> send_data_pdus(MsgChannel& channel, const net::CpuCharge& charge
 sim::DetachedTask IscsiTarget::serve_loop(std::shared_ptr<MsgChannel> channel) {
   for (;;) {
     Message msg = co_await channel->inbox().receive();
+    if (msg.type >= kChannelClosed) co_return;  // session died; stop serving
     switch (msg.type) {
       case kIscsiCmd: {
         auto cmd = *std::static_pointer_cast<IscsiCmdPayload>(msg.payload);
@@ -65,10 +66,18 @@ sim::DetachedTask IscsiTarget::serve_loop(std::shared_ptr<MsgChannel> channel) {
 
 sim::DetachedTask IscsiTarget::handle_command(std::shared_ptr<MsgChannel> channel,
                                               IscsiCmdPayload cmd) {
-  if (cmd.is_write) {
-    co_await disk_.write(cmd.block, cmd.bytes);
-  } else {
-    co_await disk_.read(cmd.block, cmd.bytes);
+  // An injected IO error costs a full mechanical service round; the target
+  // retries a bounded number of times, so storage faults surface to the
+  // initiator purely as latency (the model carries no payload bytes — real
+  // data lives in the shared in-memory database).
+  constexpr int kMaxIoAttempts = 3;
+  bool ok = false;
+  for (int attempt = 0; attempt < kMaxIoAttempts && !ok; ++attempt) {
+    if (attempt > 0) ++retries_;
+    ok = cmd.is_write ? co_await disk_.write(cmd.block, cmd.bytes)
+                      : co_await disk_.read(cmd.block, cmd.bytes);
+  }
+  if (!cmd.is_write) {
     co_await send_data_pdus(*channel, charge_, costs_, cmd.tag, cmd.bytes,
                             kIscsiDataIn);
   }
@@ -87,11 +96,16 @@ sim::DetachedTask IscsiTarget::handle_command(std::shared_ptr<MsgChannel> channe
 
 void IscsiInitiator::attach(std::shared_ptr<MsgChannel> channel) {
   channel_ = std::move(channel);
+  channel_failed_ = false;
   reply_pump();
 }
 
-sim::Task<void> IscsiInitiator::io(std::int64_t block, sim::Bytes bytes,
+sim::Task<bool> IscsiInitiator::io(std::int64_t block, sim::Bytes bytes,
                                    bool is_write) {
+  if (channel_failed_) {
+    ++failed_ops_;
+    co_return false;
+  }
   const std::uint64_t tag = next_tag_++;
   auto gate = std::make_unique<sim::Gate>(engine_);
   sim::Gate* gate_ptr = gate.get();
@@ -108,14 +122,31 @@ sim::Task<void> IscsiInitiator::io(std::int64_t block, sim::Bytes bytes,
     co_await send_data_pdus(*channel_, charge_, costs_, tag, bytes, kIscsiDataOut);
   }
   co_await gate_ptr->wait();
-  pending_.erase(tag);
-  ++completed_;
+  const auto it = pending_.find(tag);
+  const bool ok = it == pending_.end() || !it->second.failed;
+  if (it != pending_.end()) pending_.erase(it);
+  if (ok) {
+    ++completed_;
+  } else {
+    ++failed_ops_;
+  }
+  co_return ok;
 }
 
 sim::DetachedTask IscsiInitiator::reply_pump() {
   auto channel = channel_;
   for (;;) {
     Message msg = co_await channel->inbox().receive();
+    if (msg.type >= kChannelClosed) {
+      // Session channel reset/EOF: fail every in-flight op so waiters
+      // resume instead of hanging on a dead connection.
+      channel_failed_ = true;
+      for (auto& [tag, p] : pending_) {
+        p.failed = true;
+        p.done->open();
+      }
+      co_return;
+    }
     switch (msg.type) {
       case kIscsiDataIn: {
         auto data = *std::static_pointer_cast<IscsiDataPayload>(msg.payload);

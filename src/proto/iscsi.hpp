@@ -65,6 +65,9 @@ class IscsiTarget {
   void serve(std::shared_ptr<MsgChannel> channel) { serve_loop(std::move(channel)); }
 
   [[nodiscard]] std::uint64_t commands_served() const { return served_; }
+  /// Disk ops re-issued after an injected IO error (each retry pays full
+  /// mechanical service time, so storage faults surface as latency).
+  [[nodiscard]] std::uint64_t io_retries() const { return retries_; }
 
  private:
   sim::DetachedTask serve_loop(std::shared_ptr<MsgChannel> channel);
@@ -82,6 +85,7 @@ class IscsiTarget {
   IscsiCostModel costs_;
   std::unordered_map<std::uint64_t, WriteAssembly> writes_;
   std::uint64_t served_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 /// Initiator side: awaitable remote block IO over a session channel.
@@ -93,22 +97,26 @@ class IscsiInitiator {
   /// Bind to the session channel toward one target and start the reply pump.
   void attach(std::shared_ptr<MsgChannel> channel);
 
-  sim::Task<void> read(std::int64_t block, sim::Bytes bytes) {
+  /// Awaitable remote IO; false means the session channel died underneath
+  /// the op (callers fall back to local IO or abort the transaction).
+  sim::Task<bool> read(std::int64_t block, sim::Bytes bytes) {
     return io(block, bytes, false);
   }
-  sim::Task<void> write(std::int64_t block, sim::Bytes bytes) {
+  sim::Task<bool> write(std::int64_t block, sim::Bytes bytes) {
     return io(block, bytes, true);
   }
 
   [[nodiscard]] std::uint64_t ops_completed() const { return completed_; }
   [[nodiscard]] std::size_t ops_pending() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t failed_ops() const { return failed_ops_; }
 
  private:
   struct Pending {
     std::unique_ptr<sim::Gate> done;
+    bool failed = false;
   };
 
-  sim::Task<void> io(std::int64_t block, sim::Bytes bytes, bool is_write);
+  sim::Task<bool> io(std::int64_t block, sim::Bytes bytes, bool is_write);
   sim::DetachedTask reply_pump();
 
   sim::Engine& engine_;
@@ -118,6 +126,8 @@ class IscsiInitiator {
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_tag_ = 1;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ops_ = 0;
+  bool channel_failed_ = false;  ///< session channel saw reset/EOF
 };
 
 }  // namespace dclue::proto

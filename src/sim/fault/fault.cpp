@@ -1,0 +1,182 @@
+#include "sim/fault/fault.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+namespace dclue::sim::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kLinkDegrade: return "link_degrade";
+    case FaultKind::kLinkClear: return "link_clear";
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kNodeRestart: return "node_restart";
+    case FaultKind::kDiskDegrade: return "disk_degrade";
+    case FaultKind::kDiskClear: return "disk_clear";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+void mix(std::uint64_t& h, double v) { mix(h, std::bit_cast<std::uint64_t>(v)); }
+
+[[noreturn]] void spec_error(std::string_view spec, const std::string& what) {
+  std::fprintf(stderr, "fault spec \"%.*s\": %s\n",
+               static_cast<int>(spec.size()), spec.data(), what.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+std::uint64_t FaultPlan::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  for (const FaultEvent& e : events) {
+    mix(h, e.at);
+    mix(h, static_cast<std::uint64_t>(e.kind));
+    mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.target)));
+    mix(h, e.drop_rate);
+    mix(h, e.corrupt_rate);
+    mix(h, e.extra_latency);
+    mix(h, e.jitter);
+    mix(h, e.disk_latency_factor);
+    mix(h, e.disk_error_rate);
+  }
+  return h;
+}
+
+FaultSpec parse_fault_spec(std::string_view spec) {
+  FaultSpec out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view field = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos)
+      spec_error(spec, "field without '=': " + std::string(field));
+    const std::string_view key = field.substr(0, eq);
+    const std::string value_str(field.substr(eq + 1));
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str() || *end != '\0')
+      spec_error(spec, "bad value for " + std::string(key));
+    if (key == "flaps") out.flaps = static_cast<int>(value);
+    else if (key == "flap_down") out.flap_down = value;
+    else if (key == "drop") out.drop_rate = value;
+    else if (key == "corrupt") out.corrupt_rate = value;
+    else if (key == "latency") out.extra_latency = value;
+    else if (key == "jitter") out.jitter = value;
+    else if (key == "crashes") out.crashes = static_cast<int>(value);
+    else if (key == "crash_down") out.crash_down = value;
+    else if (key == "disk_spikes") out.disk_spikes = static_cast<int>(value);
+    else if (key == "disk_factor") out.disk_latency_factor = value;
+    else if (key == "disk_err") out.disk_error_rate = value;
+    else if (key == "disk_spike_len") out.disk_spike_len = value;
+    else if (key == "start") out.start = value;
+    else if (key == "span") out.span = value;
+    else spec_error(spec, "unknown key " + std::string(key));
+  }
+  return out;
+}
+
+FaultPlan generate_plan(const FaultSpec& spec, int num_nodes, Rng& rng) {
+  FaultPlan plan;
+  if (num_nodes <= 0) return plan;
+  const Time start = spec.start < 0.0 ? 0.0 : spec.start;
+  const Duration span = spec.span > 0.0 ? spec.span : 1.0;
+  const Time end = start + span;
+
+  // Crash/restart pairs first (fixed draw order keeps schedules stable when
+  // other knobs change). Round-robin from the top node index down; flaps
+  // below skip crashed nodes so a restart never races a flap on one link.
+  std::vector<bool> crashed(static_cast<std::size_t>(num_nodes), false);
+  std::vector<Time> busy_until(static_cast<std::size_t>(num_nodes), start);
+  for (int k = 0; k < spec.crashes; ++k) {
+    const int node = num_nodes - 1 - (k % num_nodes);
+    Time at = busy_until[static_cast<std::size_t>(node)] +
+              rng.uniform(0.05, 0.35) * span;
+    // Leave room for the restart and recovery inside the window.
+    at = std::min(at, start + 0.7 * span);
+    const Duration down = spec.crash_down * rng.uniform(0.6, 1.4);
+    plan.events.push_back({at, FaultKind::kNodeCrash, node});
+    plan.events.push_back({at + down, FaultKind::kNodeRestart, node});
+    busy_until[static_cast<std::size_t>(node)] = at + down + 0.1 * span;
+    crashed[static_cast<std::size_t>(node)] = true;
+  }
+
+  // Steady degradation covers the whole window, with a small per-node
+  // stagger so nodes do not change state on the same event tick. The stagger
+  // is drawn even when no degradation knob is set, so the flap/spike draws
+  // below land identically across a sweep that varies only the drop rate
+  // (controlled comparison: one knob changes one thing).
+  const bool degraded = spec.drop_rate > 0.0 || spec.corrupt_rate > 0.0 ||
+                        spec.extra_latency > 0.0 || spec.jitter > 0.0;
+  for (int node = 0; node < num_nodes; ++node) {
+    const Time at = start + rng.uniform(0.0, 0.05) * span;
+    if (!degraded) continue;
+    FaultEvent e{at, FaultKind::kLinkDegrade, node};
+    e.drop_rate = spec.drop_rate;
+    e.corrupt_rate = spec.corrupt_rate;
+    e.extra_latency = spec.extra_latency;
+    e.jitter = spec.jitter;
+    plan.events.push_back(e);
+    plan.events.push_back({end, FaultKind::kLinkClear, node});
+  }
+
+  // Link flaps: sequential episodes per node, never overlapping.
+  if (spec.flaps > 0) {
+    for (int node = 0; node < num_nodes; ++node) {
+      if (crashed[static_cast<std::size_t>(node)]) continue;
+      const double gap = span / (2.0 * spec.flaps + 1.0);
+      Time t = start;
+      for (int k = 0; k < spec.flaps; ++k) {
+        t += rng.exponential(gap);
+        const Duration down = spec.flap_down * rng.uniform(0.5, 1.5);
+        if (t >= end) break;
+        plan.events.push_back({t, FaultKind::kLinkDown, node});
+        plan.events.push_back({std::min(t + down, end), FaultKind::kLinkUp, node});
+        t += down + 0.5 * gap;
+      }
+    }
+  }
+
+  // Disk latency spikes, round-robin from node 0 up.
+  for (int k = 0; k < spec.disk_spikes; ++k) {
+    const int node = k % num_nodes;
+    const Time at = start + rng.uniform(0.1, 0.8) * span;
+    const Duration len = spec.disk_spike_len * rng.uniform(0.5, 1.5);
+    FaultEvent e{at, FaultKind::kDiskDegrade, node};
+    e.disk_latency_factor = spec.disk_latency_factor;
+    e.disk_error_rate = spec.disk_error_rate;
+    plan.events.push_back(e);
+    plan.events.push_back({std::min(at + len, end), FaultKind::kDiskClear, node});
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return std::tuple(a.at, static_cast<int>(a.kind), a.target) <
+                            std::tuple(b.at, static_cast<int>(b.kind), b.target);
+                   });
+  return plan;
+}
+
+}  // namespace dclue::sim::fault

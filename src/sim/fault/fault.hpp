@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic, schedule-driven fault injection. A FaultPlan is a flat,
+/// time-ordered list of fault events — link flaps, steady link degradation
+/// (drop/corrupt/latency/jitter), node crash/restart pairs, and disk latency
+/// spikes with IO errors. Plans come from one of two places:
+///
+///   - parse_fault_spec(): a compact "key=value,key=value" spec string that
+///     rides in ClusterConfig (so a plan survives config serialization and
+///     parallel-sweep shipping), turned into a plan by generate_plan() using
+///     a seeded Rng stream. Same (spec, num_nodes, seed) => bit-identical
+///     schedule, so any invariant failure is a one-command repro.
+///   - hand-built event lists in tests.
+///
+/// Determinism contract: the generator draws from the Rng in one fixed order
+/// (crashes, degradation windows, flaps, disk spikes), and the finished plan
+/// is stable-sorted by (time, kind, target). fingerprint() hashes the whole
+/// schedule so tests can assert two runs saw the identical fault sequence.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/units.hpp"
+
+namespace dclue::sim::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown = 0,   ///< both access links of the target node go dark
+  kLinkUp,         ///< flap recovery
+  kLinkDegrade,    ///< steady drop/corrupt/latency/jitter on the access links
+  kLinkClear,      ///< end of degradation window
+  kNodeCrash,      ///< crash-stop: links down, volatile state lost
+  kNodeRestart,    ///< links up, log replay, rejoin when recovery completes
+  kDiskDegrade,    ///< service-time multiplier + IO error rate on both disks
+  kDiskClear,      ///< end of disk spike
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault. Fields beyond (at, kind, target) are meaningful only
+/// for the kinds that carry parameters; they stay at their defaults otherwise
+/// so the fingerprint is stable.
+struct FaultEvent {
+  Time at = 0.0;
+  FaultKind kind = FaultKind::kLinkDown;
+  int target = 0;  ///< server node index
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  Duration extra_latency = 0.0;
+  Duration jitter = 0.0;
+  double disk_latency_factor = 1.0;
+  double disk_error_rate = 0.0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+  /// FNV-1a over every field of every event, in schedule order.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Generator knobs, parsed from the spec string. Times are in simulated
+/// seconds. start/span default to "caller decides": Cluster fills them from
+/// (warmup, measure) so faults land inside the measurement window.
+struct FaultSpec {
+  int flaps = 0;                    ///< link-outage episodes per node
+  Duration flap_down = 0.5;         ///< mean outage length
+  double drop_rate = 0.0;           ///< steady segment drop probability
+  double corrupt_rate = 0.0;        ///< steady segment corruption probability
+  Duration extra_latency = 0.0;     ///< added one-way latency while degraded
+  Duration jitter = 0.0;            ///< uniform [0, jitter) extra per packet
+  int crashes = 0;                  ///< node crash/restart episodes
+  Duration crash_down = 3.0;        ///< mean time from crash to restart
+  int disk_spikes = 0;              ///< disk degradation episodes
+  double disk_latency_factor = 8.0; ///< service-time multiplier while spiked
+  double disk_error_rate = 0.0;     ///< IO error probability while spiked
+  Duration disk_spike_len = 2.0;    ///< mean spike length
+  Time start = -1.0;                ///< window start; < 0 = caller supplies
+  Duration span = 0.0;              ///< window length; <= 0 = caller supplies
+};
+
+/// Parse "flaps=2,drop=0.01,crashes=1,..." — keys: flaps, flap_down, drop,
+/// corrupt, latency, jitter, crashes, crash_down, disk_spikes, disk_factor,
+/// disk_err, disk_spike_len, start, span. Unknown keys abort (a typo in a
+/// fault spec must never silently run the happy path).
+[[nodiscard]] FaultSpec parse_fault_spec(std::string_view spec);
+
+/// Expand a spec into a concrete schedule for \p num_nodes server nodes.
+/// Crash episodes are assigned round-robin from the highest node index down;
+/// flap episodes skip crashed nodes so a restart never races a flap on the
+/// same access link. All randomness comes from \p rng.
+[[nodiscard]] FaultPlan generate_plan(const FaultSpec& spec, int num_nodes,
+                                      Rng& rng);
+
+}  // namespace dclue::sim::fault

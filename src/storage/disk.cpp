@@ -4,12 +4,15 @@
 
 namespace dclue::storage {
 
-sim::Task<void> Disk::submit(std::int64_t block, sim::Bytes bytes, bool is_write) {
+sim::Task<bool> Disk::submit(std::int64_t block, sim::Bytes bytes, bool is_write) {
+  bool failed = false;
   auto gate = std::make_unique<sim::Gate>(engine_);
   sim::Gate* gate_ptr = gate.get();
-  queue_.emplace(block, Request{block, bytes, is_write, engine_.now(), std::move(gate)});
+  queue_.emplace(block, Request{block, bytes, is_write, engine_.now(),
+                                std::move(gate), &failed});
   work_.notify();
   co_await gate_ptr->wait();
+  co_return !failed;
 }
 
 std::multimap<std::int64_t, Disk::Request>::iterator Disk::pick_next() {
@@ -47,10 +50,15 @@ sim::DetachedTask Disk::service_loop() {
     auto it = pick_next();
     Request req = std::move(it->second);
     queue_.erase(it);
-    const sim::Duration service = service_time_for(req);
+    sim::Duration service = service_time_for(req);
+    if (fault_latency_factor_ != 1.0) service *= fault_latency_factor_;
     // The head ends one block past the transferred range.
     head_ = req.block + (req.bytes + 8191) / 8192;
     co_await sim::delay_for(engine_, service);
+    if (fault_error_rate_ > 0.0 && fault_rng_->chance(fault_error_rate_)) {
+      ++io_errors_;
+      if (req.failed) *req.failed = true;
+    }
     ops_.record();
     service_.record(service);
     latency_.record(engine_.now() - req.submitted);

@@ -23,12 +23,15 @@
 
 namespace dclue::storage {
 
-/// Anything that serves block IO (single disk or a striped array).
+/// Anything that serves block IO (single disk or a striped array). Ops
+/// complete with true on success; false means an injected IO error (the op
+/// still consumed its full service time). Callers that model retry live
+/// above (proto::IscsiTarget); most internal users ignore the result.
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
-  virtual sim::Task<void> read(std::int64_t block, sim::Bytes bytes) = 0;
-  virtual sim::Task<void> write(std::int64_t block, sim::Bytes bytes) = 0;
+  virtual sim::Task<bool> read(std::int64_t block, sim::Bytes bytes) = 0;
+  virtual sim::Task<bool> write(std::int64_t block, sim::Bytes bytes) = 0;
   [[nodiscard]] virtual std::uint64_t ops_completed() const = 0;
 };
 
@@ -64,12 +67,24 @@ class Disk : public BlockDevice {
   Disk& operator=(const Disk&) = delete;
 
   /// Awaitable block read / write. \p block orders the elevator.
-  sim::Task<void> read(std::int64_t block, sim::Bytes bytes) override {
+  sim::Task<bool> read(std::int64_t block, sim::Bytes bytes) override {
     return submit(block, bytes, false);
   }
-  sim::Task<void> write(std::int64_t block, sim::Bytes bytes) override {
+  sim::Task<bool> write(std::int64_t block, sim::Bytes bytes) override {
     return submit(block, bytes, true);
   }
+
+  /// Fault injection: multiply mechanical service time by \p latency_factor
+  /// and fail completed ops with probability \p error_rate (drawn from
+  /// \p rng, owned by the injector). Both default-off; the clean path pays
+  /// two compares per op and draws no randomness.
+  void set_fault(double latency_factor, double error_rate, sim::Rng* rng) {
+    fault_latency_factor_ = latency_factor;
+    fault_error_rate_ = error_rate;
+    fault_rng_ = rng;
+  }
+  void clear_fault() { set_fault(1.0, 0.0, nullptr); }
+  [[nodiscard]] std::uint64_t io_errors() const { return io_errors_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::uint64_t ops_completed() const override { return ops_.count(); }
@@ -98,9 +113,12 @@ class Disk : public BlockDevice {
     bool is_write;
     sim::Time submitted;
     std::unique_ptr<sim::Gate> done;
+    /// Points into the submitting coroutine's frame (alive until the gate
+    /// opens); set by the service loop on an injected IO error.
+    bool* failed = nullptr;
   };
 
-  sim::Task<void> submit(std::int64_t block, sim::Bytes bytes, bool is_write);
+  sim::Task<bool> submit(std::int64_t block, sim::Bytes bytes, bool is_write);
   sim::DetachedTask service_loop();
   [[nodiscard]] sim::Duration service_time_for(const Request& req) const;
   /// C-LOOK: next request at or above the head, wrapping to the lowest.
@@ -116,6 +134,10 @@ class Disk : public BlockDevice {
   obs::Tally latency_;
   obs::Tally service_;
   obs::TimeWeightedAvg busy_;
+  double fault_latency_factor_ = 1.0;
+  double fault_error_rate_ = 0.0;
+  sim::Rng* fault_rng_ = nullptr;
+  std::uint64_t io_errors_ = 0;
 };
 
 }  // namespace dclue::storage

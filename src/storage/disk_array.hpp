@@ -28,7 +28,7 @@ class DiskArray : public BlockDevice {
     }
   }
 
-  sim::Task<void> read(std::int64_t block, sim::Bytes bytes) override {
+  sim::Task<bool> read(std::int64_t block, sim::Bytes bytes) override {
     ++block_reads_[block];
     return spindle(block).read(block / stride(), bytes);
   }
@@ -42,8 +42,22 @@ class DiskArray : public BlockDevice {
     if (v.size() > n) v.resize(n);
     return v;
   }
-  sim::Task<void> write(std::int64_t block, sim::Bytes bytes) override {
+  sim::Task<bool> write(std::int64_t block, sim::Bytes bytes) override {
     return spindle(block).write(block / stride(), bytes);
+  }
+
+  /// Apply / clear a fault across every spindle (the injector degrades the
+  /// whole array — a controller-path fault, not a single platter).
+  void set_fault(double latency_factor, double error_rate, sim::Rng* rng) {
+    for (auto& d : disks_) d->set_fault(latency_factor, error_rate, rng);
+  }
+  void clear_fault() {
+    for (auto& d : disks_) d->clear_fault();
+  }
+  [[nodiscard]] std::uint64_t io_errors() const {
+    std::uint64_t total = 0;
+    for (const auto& d : disks_) total += d->io_errors();
+    return total;
   }
 
   [[nodiscard]] std::uint64_t ops_completed() const override {

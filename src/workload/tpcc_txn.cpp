@@ -349,6 +349,12 @@ sim::Task<void> TpccExecutor::stock_level(const TxnInput& in, TxnCtx& ctx) {
 // ---------------------------------------------------------------------------
 
 sim::Task<bool> TpccExecutor::execute(const TxnInput& input, cpu::ThreadId tid) {
+  if (env_.alive && !*env_.alive) {
+    // Crash-stop: a dead node's server loop may still see queued requests;
+    // they abort immediately without touching any shared state.
+    env_.stats->txns_aborted.record();
+    co_return false;
+  }
   TxnCtx ctx;
   ctx.token = next_token_ * static_cast<std::uint64_t>(env_.num_nodes) +
               static_cast<std::uint64_t>(env_.node_id);
@@ -436,6 +442,9 @@ sim::Task<bool> TpccExecutor::commit(TxnCtx& ctx) {
   constexpr int kMaxRetries = 8;
   const sim::Time locks_begin = env_.engine->now();
   for (int attempt = 0;; ++attempt) {
+    // The node may have crashed while this transaction was in phase 1 or
+    // asleep between retries; abort before acquiring anything.
+    if (env_.alive && !*env_.alive) co_return false;
     std::size_t acquired = 0;
     bool all_granted = true;
     for (std::size_t i = 0; i < ctx.locks.size(); ++i) {
@@ -471,6 +480,14 @@ sim::Task<bool> TpccExecutor::commit(TxnCtx& ctx) {
   }
 
   ctx.lock_time = env_.engine->now() - locks_begin;
+
+  // Final liveness check before any write becomes visible: a node that
+  // crashed during lock acquisition releases promptly and applies nothing,
+  // so committed state never contains a dead node's writes.
+  if (env_.alive && !*env_.alive) {
+    co_await release_all(ctx, ctx.locks.size());
+    co_return false;
+  }
 
   // Apply: versions, real row mutations, WAL.
   const sim::Time apply_begin = env_.engine->now();

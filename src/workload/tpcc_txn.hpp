@@ -88,6 +88,9 @@ struct NodeEnv {
   sim::Rng* rng = nullptr;  ///< node-local stream (retry backoff)
   /// Mean delay before retrying phase 2 after a lock failure (scaled).
   sim::Duration lock_retry_delay = sim::milliseconds(0.5);
+  /// Node liveness (null = always alive). A dead node's executor aborts at
+  /// the next check and never applies writes, modeling crash-stop.
+  const bool* alive = nullptr;
 };
 
 /// Executes transactions on one node. One instance per node; invoked by the

@@ -77,6 +77,34 @@ TEST(SweepDeterminism, ParallelMatchesSerialBitForBit) {
   }
 }
 
+TEST(SweepDeterminism, FaultedPointMatchesSerialBitForBit) {
+  // A fault plan is part of the point's config: link flaps, loss, a crash
+  // and disk spikes must replay identically on a sweep worker thread.
+  std::vector<ClusterConfig> cfgs;
+  for (std::uint64_t seed : {31, 32}) {
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.affinity = 0.8;
+    cfg.warehouses_override = 8;
+    cfg.customers_per_district = 60;
+    cfg.items = 200;
+    cfg.terminals_per_node = 8;
+    cfg.warmup = 1.0;
+    cfg.measure = 6.0;
+    cfg.seed = seed;
+    cfg.fault_spec = "flaps=2,flap_down=0.2,drop=0.02,crashes=1,crash_down=1.5";
+    cfgs.push_back(cfg);
+  }
+  const std::vector<RunReport> serial = run_experiments(cfgs, /*jobs=*/1);
+  const std::vector<RunReport> parallel = run_experiments(cfgs, /*jobs=*/2);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i], i);
+  }
+  // The two seeds actually produced different faulted runs.
+  EXPECT_NE(serial[0].txns, serial[1].txns);
+}
+
 TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
   const std::vector<ClusterConfig> cfgs = small_grid();
   const std::vector<RunReport> first = run_experiments(cfgs, /*jobs=*/3);
