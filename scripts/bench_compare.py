@@ -11,7 +11,8 @@ Exit non-zero if any compared metric regresses by more than the tolerance
 (default 10%). Direction is inferred from the key name:
 
   *_per_sec, *_per_sec_after, *speedup, *tpmc     higher is better
-  *allocs_per_segment_after, *events_per_segment  lower is better
+  *allocs_per_segment_after, *events_per_segment,
+  *allocs_per_op_after                            lower is better
 
 Config keys (workload sizes, event counts) and the *_before baselines baked
 into the binary are ignored: they describe the measurement, not the result.
@@ -30,7 +31,8 @@ import json
 import sys
 
 HIGHER_SUFFIXES = ("_per_sec", "_per_sec_after", "speedup", "tpmc")
-LOWER_SUFFIXES = ("allocs_per_segment_after", "events_per_segment")
+LOWER_SUFFIXES = ("allocs_per_segment_after", "events_per_segment",
+                  "allocs_per_op_after")
 
 
 def flatten(doc):

@@ -6,21 +6,29 @@
 /// for the pages it homes. The directory knows which nodes hold a page and
 /// which (if any) holds it exclusively, and picks the data supplier for
 /// remote fetches.
+///
+/// Hot-path layout: the page table is an open-addressing sim::FlatMap and
+/// holder sets are inline sim::SmallVecs (a page is resident on a handful of
+/// nodes, not the whole cluster), so the lookup/confirm/evict cycle driven
+/// by every remote fetch allocates nothing once the table is warm.
 
 #include <algorithm>
-#include <unordered_map>
-#include <vector>
 
 #include "db/table.hpp"
+#include "sim/flat_map.hpp"
+#include "sim/small_vec.hpp"
 
 namespace dclue::cluster {
 
 class DirectoryService {
  public:
+  /// Node ids holding a page; inline capacity covers typical sharing fanout.
+  using HolderList = sim::SmallVec<int, 4>;
+
   struct LookupResult {
     bool has_supplier = false;
     int supplier = -1;
-    std::vector<int> invalidate;  ///< holders to invalidate (exclusive reqs)
+    HolderList invalidate;  ///< holders to invalidate (exclusive reqs)
   };
 
   /// Look up \p page on behalf of \p requester. The requester is recorded as
@@ -28,7 +36,7 @@ class DirectoryService {
   /// from it once its copy lands. For exclusive requests, all other holders
   /// are scheduled for invalidation.
   LookupResult lookup(db::PageId page, int requester, bool exclusive) {
-    auto& entry = entries_[page];
+    Entry& entry = entries_[page];
     LookupResult result;
     // Prefer the exclusive owner as supplier, else any holder.
     if (entry.exclusive_owner >= 0 && entry.exclusive_owner != requester) {
@@ -65,7 +73,7 @@ class DirectoryService {
 
   /// The requester confirms successful retrieval ("A eventually informs B").
   void confirm(db::PageId page, int holder) {
-    auto& entry = entries_[page];
+    Entry& entry = entries_[page];
     if (std::find(entry.holders.begin(), entry.holders.end(), holder) ==
         entry.holders.end()) {
       entry.holders.push_back(holder);
@@ -76,17 +84,18 @@ class DirectoryService {
   void evict(db::PageId page, int holder) {
     auto it = entries_.find(page);
     if (it == entries_.end()) return;
-    auto& holders = it->second.holders;
-    holders.erase(std::remove(holders.begin(), holders.end(), holder),
-                  holders.end());
-    if (it->second.exclusive_owner == holder) it->second.exclusive_owner = -1;
-    if (holders.empty()) entries_.erase(it);
+    HolderList& holders = it->value.holders;
+    holders.truncate(static_cast<std::size_t>(
+        std::remove(holders.begin(), holders.end(), holder) -
+        holders.begin()));
+    if (it->value.exclusive_owner == holder) it->value.exclusive_owner = -1;
+    if (holders.empty()) entries_.erase_compact(it);
   }
 
   [[nodiscard]] std::size_t entries() const { return entries_.size(); }
   [[nodiscard]] int holder_count(db::PageId page) const {
     auto it = entries_.find(page);
-    return it == entries_.end() ? 0 : static_cast<int>(it->second.holders.size());
+    return it == entries_.end() ? 0 : static_cast<int>(it->value.holders.size());
   }
 
   /// Crash cleanup: forget \p node as holder / exclusive owner of every
@@ -95,13 +104,12 @@ class DirectoryService {
   std::size_t purge_holder(int node) {
     std::size_t purged = 0;
     for (auto it = entries_.begin(); it != entries_.end();) {
-      auto& holders = it->second.holders;
-      const auto removed =
-          std::remove(holders.begin(), holders.end(), node);
+      HolderList& holders = it->value.holders;
+      const auto removed = std::remove(holders.begin(), holders.end(), node);
       const bool touched = removed != holders.end() ||
-                           it->second.exclusive_owner == node;
-      holders.erase(removed, holders.end());
-      if (it->second.exclusive_owner == node) it->second.exclusive_owner = -1;
+                           it->value.exclusive_owner == node;
+      holders.truncate(static_cast<std::size_t>(removed - holders.begin()));
+      if (it->value.exclusive_owner == node) it->value.exclusive_owner = -1;
       if (touched) ++purged;
       if (holders.empty()) {
         it = entries_.erase(it);
@@ -116,12 +124,16 @@ class DirectoryService {
   /// re-register through confirm/lookup traffic after recovery).
   void clear() { entries_.clear(); }
 
+  [[nodiscard]] const sim::ProbeStats& probe_stats() const {
+    return entries_.probe_stats();
+  }
+
  private:
   struct Entry {
-    std::vector<int> holders;
+    HolderList holders;
     int exclusive_owner = -1;
   };
-  std::unordered_map<db::PageId, Entry> entries_;
+  sim::FlatMap<db::PageId, Entry> entries_;
 };
 
 }  // namespace dclue::cluster

@@ -202,7 +202,7 @@ void FusionLayer::write_back(db::PageId page, int storage_home) {
   }(this, page, storage_home));
 }
 
-void FusionLayer::process_evictions(const std::vector<db::PageId>& evicted) {
+void FusionLayer::process_evictions(const db::BufferCache::EvictedList& evicted) {
   for (db::PageId page : evicted) {
     const int home = dir_home(page);
     if (home == d_.node_id) {

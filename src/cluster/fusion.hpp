@@ -135,7 +135,7 @@ class FusionLayer {
                              bool upgrade_only, bool allocate);
   sim::Task<void> disk_fetch(db::PageId page, int storage_home);
   void write_back(db::PageId page, int storage_home);
-  void process_evictions(const std::vector<db::PageId>& evicted);
+  void process_evictions(const db::BufferCache::EvictedList& evicted);
   void serve_block(db::PageId page, int requester, std::uint64_t data_req_id);
   sim::DetachedTask handle_dir_request(Envelope env);
   sim::DetachedTask handle_lock_acquire(Envelope env);

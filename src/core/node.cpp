@@ -199,6 +199,22 @@ void Node::register_metrics(obs::MetricsRegistry& reg) {
         hits + static_cast<double>(stats_.buffer_misses.count());
     return total > 0.0 ? hits / total : 0.0;
   });
+  // DB-tier data-structure probes: average open-addressing probe length
+  // across the node's four flat maps, and cumulative LRU eviction scan cost
+  // (entries examined; 1 per eviction with the unpinned sublist).
+  reg.gauge_fn(p + "db.probe_len", [this] {
+    const sim::ProbeStats* stats[] = {
+        &cache_->probe_stats(), &locks_->probe_stats(),
+        &versions_->probe_stats(), &directory_->probe_stats()};
+    std::uint64_t steps = 0, ops = 0;
+    for (const auto* s : stats) {
+      steps += s->steps;
+      ops += s->ops;
+    }
+    return ops > 0 ? static_cast<double>(steps) / static_cast<double>(ops)
+                   : 0.0;
+  });
+  reg.bind(p + "db.lru_evict_scans", &cache_->evict_scans());
   reg.gauge_fn(p + "mem.loaded_latency_s",
                [this] { return mem_->loaded_memory_latency_s(); });
   reg.gauge_fn(p + "mem.dbus_utilization",

@@ -4,16 +4,27 @@
 /// In-memory B+-tree with fixed fan-out, used as the primary index of every
 /// TPC-C table (DCLUE "explicitly maintains B+-tree indices for each
 /// table"). Keys are 64-bit composites; values are row ids. Leaves are
-/// linked for ordered range scans (delivery's oldest-new-order lookup,
-/// stock-level's last-20-orders scan). The tree also reports its leaf count
-/// and height so the buffer-cache layer can model index page residency.
+/// doubly linked for ordered range scans (delivery's oldest-new-order
+/// lookup, stock-level's last-20-orders scan). The tree also reports its
+/// leaf count and height so the buffer-cache layer can model index page
+/// residency — both are maintained incrementally (split/unlink/collapse),
+/// not recomputed by walking the structure.
+///
+/// Nodes come from a per-tree pool (std::deque slabs + free list): churny
+/// workloads (new-order insert / delivery erase) recycle nodes instead of
+/// round-tripping the allocator, and teardown is one deque destruction
+/// rather than a pointer-chasing recursive delete. A leaf whose last entry
+/// is erased is unlinked from the leaf chain and returned to the pool (its
+/// empty parent chain too), so iteration never revisits retired leaves.
 
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <deque>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 namespace dclue::db {
@@ -24,17 +35,29 @@ class BTree {
   struct Node;
 
  public:
-  BTree() : root_(new Node(/*leaf=*/true)) { first_leaf_ = root_.get(); }
+  BTree() {
+    root_ = alloc_node(/*leaf=*/true);
+    first_leaf_ = root_;
+    dir_keys_.push_back(Key{});  // sentinel: leaf 0 has no left separator
+    dir_leaves_.push_back(root_);
+    rebuild_dir_et();
+  }
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) noexcept = default;
+  BTree& operator=(BTree&&) noexcept = default;
 
   /// Insert or overwrite.
   void insert(Key key, Value value) {
-    Node* r = root_.get();
+    Node* r = root_;
     if (r->count == Fanout) {
-      auto new_root = std::make_unique<Node>(false);
-      new_root->children[0] = std::move(root_);
-      root_ = std::move(new_root);
-      split_child(root_.get(), 0);
-      r = root_.get();
+      Node* new_root = alloc_node(false);
+      new_root->kids()[0] = root_;
+      const bool append = key > r->keys[Fanout - 1];
+      root_ = new_root;
+      ++height_;
+      split_child(root_, 0, append);
+      r = root_;
     }
     insert_nonfull(r, key, value);
   }
@@ -42,25 +65,37 @@ class BTree {
   [[nodiscard]] std::optional<Value> find(Key key) const {
     const Node* n = leaf_for(key);
     int i = lower_bound_in(n, key);
-    if (i < n->count && n->keys[i] == key) return n->values[i];
+    if (i < n->count && n->keys[i] == key) return n->vals()[i];
     return std::nullopt;
   }
 
   [[nodiscard]] bool contains(Key key) const { return find(key).has_value(); }
 
-  /// Remove \p key; returns true if it existed. Uses lazy deletion (leaves
-  /// may underflow) — correct for ordered iteration and fine for a workload
-  /// where deletions (retired new-order rows) are a small minority.
+  /// Remove \p key; returns true if it existed. A leaf left empty is
+  /// unlinked from the leaf chain and recycled (as is any inner node left
+  /// childless), so ordered iteration and leaf_count() track live structure.
   bool erase(Key key) {
-    Node* n = leaf_for_mut(key);
+    // Record the descent so an emptied node can be detached from its parent.
+    std::array<Node*, kMaxDepth> path;
+    std::array<int, kMaxDepth> slot;
+    int depth = 0;
+    Node* n = root_;
+    while (!n->leaf) {
+      int i = upper_bound_in(n, key);
+      path[depth] = n;
+      slot[depth] = i;
+      ++depth;
+      n = n->kids()[i];
+    }
     int i = lower_bound_in(n, key);
     if (i >= n->count || n->keys[i] != key) return false;
     for (int j = i; j + 1 < n->count; ++j) {
       n->keys[j] = n->keys[j + 1];
-      n->values[j] = n->values[j + 1];
+      n->vals()[j] = n->vals()[j + 1];
     }
     --n->count;
     --size_;
+    if (n->count == 0 && n != root_) retire(n, key, path, slot, depth);
     return true;
   }
 
@@ -72,7 +107,7 @@ class BTree {
 
     [[nodiscard]] bool valid() const { return leaf_ != nullptr; }
     [[nodiscard]] Key key() const { return leaf_->keys[idx_]; }
-    [[nodiscard]] Value value() const { return leaf_->values[idx_]; }
+    [[nodiscard]] Value value() const { return leaf_->vals()[idx_]; }
 
     void next() {
       ++idx_;
@@ -80,6 +115,8 @@ class BTree {
     }
 
    private:
+    // Empty leaves are unlinked eagerly; the only one an iterator can meet
+    // is an empty root (freshly constructed or fully drained tree).
     void skip_empty() {
       while (leaf_ && idx_ >= leaf_->count) {
         leaf_ = leaf_->next;
@@ -101,83 +138,247 @@ class BTree {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
-  [[nodiscard]] int height() const {
-    int h = 1;
-    const Node* n = root_.get();
-    while (!n->leaf) {
-      n = n->children[0].get();
-      ++h;
-    }
-    return h;
-  }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
 
-  [[nodiscard]] std::size_t leaf_count() const {
-    std::size_t c = 0;
-    for (const Node* n = first_leaf_; n; n = n->next) ++c;
-    return c;
-  }
+  /// Pool introspection for tests: nodes currently awaiting reuse.
+  [[nodiscard]] std::size_t pooled_free_nodes() const { return free_.size(); }
 
  private:
+  // Fanout >= 4 means >= 2x growth per level; 64-bit key spaces cannot
+  // exceed this depth.
+  static constexpr int kMaxDepth = 64;
+
+  // A node holds its header and keys inline — the part every search reads —
+  // and points at an out-of-line payload block (values for a leaf, children
+  // for an inner node). Packing nodes key-only keeps the array of them
+  // roughly half the size it would be with inline payloads, so far more of
+  // the search-hot data survives in cache under a churning workload; the
+  // payload block contributes exactly the one line a hit actually touches.
+  // Trivial element types make the block's role switch on recycle
+  // well-defined with no destructor bookkeeping.
+  static_assert(std::is_trivially_copyable_v<Key> &&
+                std::is_trivially_copyable_v<Value>);
+
   struct Node {
-    explicit Node(bool is_leaf) : leaf(is_leaf) {}
-    bool leaf;
+    bool leaf = true;
     int count = 0;
+    Node* next = nullptr;    ///< leaf chain
+    Node* prev = nullptr;    ///< leaf chain (needed to unlink emptied leaves)
+    void* payload = nullptr; ///< paired payload block; set once at first alloc
     std::array<Key, Fanout> keys{};
-    // Leaves hold values; inner nodes hold children (count+1 of them).
-    std::array<Value, Fanout> values{};
-    std::array<std::unique_ptr<Node>, Fanout + 1> children{};
-    Node* next = nullptr;  ///< leaf chain
+
+    [[nodiscard]] Value* vals() { return static_cast<Value*>(payload); }
+    [[nodiscard]] const Value* vals() const {
+      return static_cast<const Value*>(payload);
+    }
+    [[nodiscard]] Node** kids() { return static_cast<Node**>(payload); }
+    [[nodiscard]] Node* const* kids() const {
+      return static_cast<Node* const*>(payload);
+    }
   };
 
+  /// Payload block: sized and aligned for whichever role is bigger. A block
+  /// is bound to its node for the node's lifetime (recycles keep the pair),
+  /// so allocation stays 1:1 with node creation.
+  static constexpr std::size_t kPayloadBytes =
+      sizeof(Node*) * (Fanout + 1) > sizeof(Value) * Fanout
+          ? sizeof(Node*) * (Fanout + 1)
+          : sizeof(Value) * Fanout;
+  struct Payload {
+    alignas(alignof(Node*) > alignof(Value) ? alignof(Node*)
+                                            : alignof(Value))
+        std::byte bytes[kPayloadBytes];
+  };
+
+  Node* alloc_node(bool is_leaf) {
+    Node* n;
+    if (!free_.empty()) {
+      n = free_.back();
+      free_.pop_back();
+    } else {
+      n = &pool_.emplace_back();
+      n->payload = payload_pool_.emplace_back().bytes;
+    }
+    n->leaf = is_leaf;
+    n->count = 0;
+    n->next = nullptr;
+    n->prev = nullptr;
+    if (is_leaf) ++leaf_count_;
+    return n;
+  }
+
+  void free_node(Node* n) {
+    if (n->leaf) --leaf_count_;
+    free_.push_back(n);
+  }
+
+  /// Detach the emptied leaf at the bottom of \p path from its parent,
+  /// cascading upward while parents run out of children; collapse
+  /// single-child inner roots afterwards.
+  void retire(Node* n, Key key, const std::array<Node*, kMaxDepth>& path,
+              const std::array<int, kMaxDepth>& slot, int depth) {
+    dir_erase_leaf(n, key);
+    // Unlink from the leaf chain.
+    if (n->prev != nullptr) n->prev->next = n->next;
+    if (n->next != nullptr) n->next->prev = n->prev;
+    if (first_leaf_ == n) first_leaf_ = n->next;
+    free_node(n);
+    while (depth-- > 0) {
+      Node* parent = path[depth];
+      const int i = slot[depth];
+      if (parent->count == 0) {
+        // Single-child inner node lost its only child; cascade. (A root in
+        // this state cannot occur: the collapse loop below keeps an inner
+        // root at >= 2 children, so the cascade always stops before it.)
+        assert(i == 0 && parent != root_);
+        free_node(parent);
+        continue;
+      }
+      // Drop child i and one separator key: child i's separator is
+      // keys[i-1]; for i == 0 removing keys[0] widens the left edge of the
+      // new first child instead, which may only widen coverage (the emptied
+      // subtree held nothing).
+      const int key_at = i > 0 ? i - 1 : 0;
+      for (int j = key_at; j + 1 < parent->count; ++j) {
+        parent->keys[j] = parent->keys[j + 1];
+      }
+      for (int j = i; j + 1 <= parent->count; ++j) {
+        parent->kids()[j] = parent->kids()[j + 1];
+      }
+      --parent->count;
+      break;
+    }
+    // Collapse single-child inner roots so searches skip degenerate levels.
+    while (!root_->leaf && root_->count == 0) {
+      Node* only = root_->kids()[0];
+      free_node(root_);
+      root_ = only;
+      --height_;
+    }
+  }
+
+  /// Issue loads for the header and full key array of \p n before the first
+  /// compare. Binary search otherwise discovers a cold node's cache lines
+  /// serially — one full miss latency per step until it converges to a
+  /// line; prefetching them together overlaps the misses, which is most of
+  /// the cost of a random find once the upper levels are cache-resident.
+  static void prefetch_node(const Node* n) {
+#if defined(__GNUC__)
+    constexpr std::size_t kSpan = sizeof(Node);
+    const char* p = reinterpret_cast<const char*>(n);
+    for (std::size_t off = 0; off < kSpan; off += 64) {
+      __builtin_prefetch(p + off);
+    }
+#else
+    (void)n;
+#endif
+  }
+
+  // In-node searches run branchless (the compare compiles to a conditional
+  // move): random probe keys make the mid-key comparison a coin flip, and
+  // the mispredict per level costs more than the handful of extra compares.
+
+  /// Count of keys < \p key == index of the first key >= it.
   static int lower_bound_in(const Node* n, Key key) {
-    return static_cast<int>(
-        std::lower_bound(n->keys.begin(), n->keys.begin() + n->count, key) -
-        n->keys.begin());
+    const Key* base = n->keys.data();
+    int len = n->count;
+    while (len > 1) {
+      const int half = len >> 1;
+      base += base[half - 1] < key ? half : 0;
+      len -= half;
+    }
+    const int last = (len == 1 && base[0] < key) ? 1 : 0;
+    return static_cast<int>(base - n->keys.data()) + last;
+  }
+
+  /// Directory position of the leaf whose key range covers \p key: the
+  /// number of separators <= key (branchless, like the in-node searches).
+  [[nodiscard]] std::size_t leaf_index_for(Key key) const {
+    const Key* base = dir_keys_.data() + 1;
+    std::size_t len = dir_leaves_.size() - 1;
+    while (len > 1) {
+      const std::size_t half = len >> 1;
+      base += base[half - 1] <= key ? half : 0;
+      len -= half;
+    }
+    std::size_t idx = static_cast<std::size_t>(base - (dir_keys_.data() + 1));
+    if (len == 1 && base[0] <= key) ++idx;
+    return idx;
   }
 
   [[nodiscard]] const Node* leaf_for(Key key) const {
-    const Node* n = root_.get();
-    while (!n->leaf) {
-      int i = upper_bound_in(n, key);
-      n = n->children[static_cast<std::size_t>(i)].get();
+    // Walk the same separator set laid out in BFS (eytzinger) order: the
+    // children of slot k live at 2k / 2k+1, so the four grandchildren of
+    // the current compare sit in at most two adjacent lines that one
+    // prefetch pair covers. Every level is L1-resident by the time the
+    // walk reaches it — a sorted-array bisection cannot be prefetched this
+    // way because its next probe address depends on the compare before it.
+    // Going right means "separator <= key": the last slot that sends the
+    // walk right is the largest separator <= key, whose paired leaf covers
+    // the key's range (dir_leaves_[0] when no separator qualifies).
+    const DirEnt* et = et_.data();
+    const std::size_t m = et_.size() - 1;
+    const Node* cand = dir_leaves_[0];
+    std::size_t k = 1;
+    while (k <= m) {
+#if defined(__GNUC__)
+      __builtin_prefetch(et + 4 * k);
+      __builtin_prefetch(et + 4 * k + 2);
+#endif
+      const bool right = et[k].sep <= key;
+      cand = right ? et[k].leaf : cand;
+      k = 2 * k + (right ? 1 : 0);
     }
-    return n;
-  }
-  [[nodiscard]] Node* leaf_for_mut(Key key) {
-    return const_cast<Node*>(leaf_for(key));
+    prefetch_node(cand);
+    return cand;
   }
 
+  /// Count of keys <= \p key == index of the first key > it.
   static int upper_bound_in(const Node* n, Key key) {
-    return static_cast<int>(
-        std::upper_bound(n->keys.begin(), n->keys.begin() + n->count, key) -
-        n->keys.begin());
+    const Key* base = n->keys.data();
+    int len = n->count;
+    while (len > 1) {
+      const int half = len >> 1;
+      base += base[half - 1] <= key ? half : 0;
+      len -= half;
+    }
+    const int last = (len == 1 && base[0] <= key) ? 1 : 0;
+    return static_cast<int>(base - n->keys.data()) + last;
   }
 
   /// Split full child \p i of \p parent (classic B-tree preemptive split).
-  void split_child(Node* parent, int i) {
-    Node* child = parent->children[static_cast<std::size_t>(i)].get();
-    auto right = std::make_unique<Node>(child->leaf);
-    const int mid = Fanout / 2;
+  /// When the pending insert appends past the child's last key (\p append —
+  /// the shape of TPC-C's ever-ascending order ids), split at the high end
+  /// instead of the middle: the left node stays ~full, so monotone streams
+  /// pack nodes densely instead of leaving a trail of half-empty ones, and
+  /// the tree runs one level shorter at the same key count.
+  void split_child(Node* parent, int i, bool append) {
+    Node* child = parent->kids()[i];
+    Node* right = alloc_node(child->leaf);
+    const int mid = append ? (child->leaf ? Fanout - 1 : Fanout - 2) : Fanout / 2;
 
     if (child->leaf) {
       // Right keeps keys[mid..); separator key is right's first key.
       right->count = child->count - mid;
       for (int j = 0; j < right->count; ++j) {
         right->keys[j] = child->keys[mid + j];
-        right->values[j] = child->values[mid + j];
+        right->vals()[j] = child->vals()[mid + j];
       }
       child->count = mid;
       right->next = child->next;
-      child->next = right.get();
+      right->prev = child;
+      if (right->next != nullptr) right->next->prev = right;
+      child->next = right;
       // Shift parent entries to make room.
       for (int j = parent->count; j > i; --j) {
         parent->keys[j] = parent->keys[j - 1];
-        parent->children[static_cast<std::size_t>(j + 1)] =
-            std::move(parent->children[static_cast<std::size_t>(j)]);
+        parent->kids()[j + 1] = parent->kids()[j];
       }
       parent->keys[i] = right->keys[0];
-      parent->children[static_cast<std::size_t>(i + 1)] = std::move(right);
+      parent->kids()[i + 1] = right;
       ++parent->count;
+      dir_insert_leaf(right);
     } else {
       // Inner split: median moves up.
       right->count = child->count - mid - 1;
@@ -185,18 +386,16 @@ class BTree {
         right->keys[j] = child->keys[mid + 1 + j];
       }
       for (int j = 0; j <= right->count; ++j) {
-        right->children[static_cast<std::size_t>(j)] =
-            std::move(child->children[static_cast<std::size_t>(mid + 1 + j)]);
+        right->kids()[j] = child->kids()[mid + 1 + j];
       }
       Key median = child->keys[mid];
       child->count = mid;
       for (int j = parent->count; j > i; --j) {
         parent->keys[j] = parent->keys[j - 1];
-        parent->children[static_cast<std::size_t>(j + 1)] =
-            std::move(parent->children[static_cast<std::size_t>(j)]);
+        parent->kids()[j + 1] = parent->kids()[j];
       }
       parent->keys[i] = median;
-      parent->children[static_cast<std::size_t>(i + 1)] = std::move(right);
+      parent->kids()[i + 1] = right;
       ++parent->count;
     }
   }
@@ -204,32 +403,98 @@ class BTree {
   void insert_nonfull(Node* n, Key key, Value value) {
     while (!n->leaf) {
       int i = upper_bound_in(n, key);
-      Node* child = n->children[static_cast<std::size_t>(i)].get();
+      Node* child = n->kids()[i];
       if (child->count == Fanout) {
-        split_child(n, i);
+        split_child(n, i, key > child->keys[Fanout - 1]);
         if (key >= n->keys[i]) ++i;
-        child = n->children[static_cast<std::size_t>(i)].get();
+        child = n->kids()[i];
       }
       n = child;
+      prefetch_node(n);
     }
     int i = lower_bound_in(n, key);
     if (i < n->count && n->keys[i] == key) {
-      n->values[i] = value;  // overwrite
+      n->vals()[i] = value;  // overwrite
       return;
     }
     for (int j = n->count; j > i; --j) {
       n->keys[j] = n->keys[j - 1];
-      n->values[j] = n->values[j - 1];
+      n->vals()[j] = n->vals()[j - 1];
     }
     n->keys[i] = key;
-    n->values[i] = value;
+    n->vals()[i] = value;
     ++n->count;
     ++size_;
   }
 
-  std::unique_ptr<Node> root_;
+  /// Record the new leaf \p right in the directory, just after its left
+  /// sibling; the separator is right's first key, exactly as recorded in the
+  /// parent by split_child.
+  void dir_insert_leaf(Node* right) {
+    const std::size_t idx = leaf_index_for(right->keys[0]);
+    dir_keys_.insert(dir_keys_.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                     right->keys[0]);
+    dir_leaves_.insert(
+        dir_leaves_.begin() + static_cast<std::ptrdiff_t>(idx) + 1, right);
+    rebuild_dir_et();
+  }
+
+  /// Drop retired leaf \p n (which \p key routed to) from the directory,
+  /// together with its left separator: the dead range merges into a
+  /// neighbour. Which neighbour absorbs it cannot matter — the range holds
+  /// no keys, so lookups routed either way miss correctly and lower_bound
+  /// lands on the same successor.
+  void dir_erase_leaf(const Node* n, Key key) {
+    const std::size_t idx = leaf_index_for(key);
+    assert(dir_leaves_[idx] == n);
+    (void)n;
+    dir_keys_.erase(dir_keys_.begin() + static_cast<std::ptrdiff_t>(idx));
+    dir_leaves_.erase(dir_leaves_.begin() + static_cast<std::ptrdiff_t>(idx));
+    rebuild_dir_et();
+  }
+
+  /// Re-derive the eytzinger mirror after a directory change. O(leaves),
+  /// like the vector insert/erase that precedes it; an in-order walk of the
+  /// implicit BST visits slots in ascending separator order, so filling
+  /// during that walk places sorted entry i at its BFS position.
+  void rebuild_dir_et() {
+    const std::size_t m = dir_leaves_.size() - 1;
+    et_.resize(m + 1);
+    std::size_t src = 1;
+    fill_dir_et(1, m, src);
+  }
+  void fill_dir_et(std::size_t k, std::size_t m, std::size_t& src) {
+    if (k > m) return;
+    fill_dir_et(2 * k, m, src);
+    et_[k] = DirEnt{dir_keys_[src], dir_leaves_[src]};
+    ++src;
+    fill_dir_et(2 * k + 1, m, src);
+  }
+
+  std::deque<Node> pool_;           ///< owns every node; stable addresses
+  std::deque<Payload> payload_pool_;  ///< payload blocks, paired 1:1 with pool_
+  std::vector<Node*> free_;         ///< retired nodes awaiting reuse
+  /// Flat leaf directory, mirroring the separator structure of the inner
+  /// nodes: dir_leaves_ is every live leaf in chain order, dir_keys_[i] the
+  /// separator to the left of leaf i ([0] is an unused sentinel). Lookups
+  /// route through one branchless search of this array — a few KB that the
+  /// find-heavy paths keep cache-hot — instead of a node descent whose
+  /// every level is a dependent cache miss. Maintained only at leaf split /
+  /// retire; inserts and erases still walk the tree.
+  std::vector<Key> dir_keys_;
+  std::vector<Node*> dir_leaves_;
+  /// (separator, right leaf) pairs; 16 bytes so one line holds the four
+  /// grandchildren of an eytzinger slot.
+  struct DirEnt {
+    Key sep;
+    Node* leaf;
+  };
+  std::vector<DirEnt> et_;  ///< 1-based eytzinger mirror of the separators
+  Node* root_ = nullptr;
   Node* first_leaf_ = nullptr;
   std::size_t size_ = 0;
+  std::size_t leaf_count_ = 0;
+  int height_ = 1;
 };
 
 }  // namespace dclue::db

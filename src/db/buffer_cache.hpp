@@ -7,14 +7,27 @@
 /// entire database is sitting in the main memory, buffer cache operations
 /// merely change status of the pages in question"). Hit ratios are an
 /// output of this machinery, never an input.
+///
+/// Layout (see DESIGN.md §"DB-tier internals"): entries live in one
+/// contiguous slab threaded by two intrusive index lists — the resident
+/// recency list (front = coldest) and its unpinned sublist, kept in the same
+/// relative order. Eviction pops the unpinned head in O(1) instead of
+/// rescanning pinned-cold pages at the recency front; `lru_evict_scans`
+/// counts entries examined per eviction (always 1 now) so a regression back
+/// to scanning shows up in the registry. The unpinned sublist only starts
+/// being maintained at the first pin() ever (built once from the recency
+/// order, then kept incrementally): until then it is the recency list by
+/// definition, and touch — the per-access hot path — updates a single list.
+/// The page→slab index map is an open-addressing sim::FlatMap, so touch /
+/// insert-hit is one probe and a few index writes, no allocation.
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "db/table.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/obs/stats.hpp"
+#include "sim/small_vec.hpp"
 
 namespace dclue::db {
 
@@ -24,33 +37,39 @@ enum class PageMode : std::uint8_t { kShared = 0, kExclusive = 1 };
 
 class BufferCache {
  public:
-  explicit BufferCache(std::size_t capacity_pages)
-      : capacity_(capacity_pages) {}
+  /// Pages evicted by one insert; sized for the common single eviction.
+  using EvictedList = sim::SmallVec<PageId, 4>;
+
+  explicit BufferCache(std::size_t capacity_pages) : capacity_(capacity_pages) {
+    map_.reserve(capacity_pages);
+    slab_.reserve(capacity_pages);
+  }
 
   /// Is \p page resident with at least \p mode?
   [[nodiscard]] bool contains(PageId page, PageMode mode) const {
     auto it = map_.find(page);
     if (it == map_.end()) return false;
-    return mode == PageMode::kShared || it->second.mode == PageMode::kExclusive;
+    return mode == PageMode::kShared ||
+           slab_[it->value].mode == PageMode::kExclusive;
   }
   [[nodiscard]] bool resident(PageId page) const { return map_.contains(page); }
 
   /// Record a fetched page; LRU-evicts to make room. Evicted (unpinned)
   /// pages are returned so the coherence layer can notify their directory.
-  std::vector<PageId> insert(PageId page, PageMode mode);
+  EvictedList insert(PageId page, PageMode mode);
 
   /// Promote a resident page to exclusive (after coherence permission).
   void upgrade(PageId page) {
     auto it = map_.find(page);
-    if (it != map_.end()) it->second.mode = PageMode::kExclusive;
+    if (it != map_.end()) slab_[it->value].mode = PageMode::kExclusive;
   }
 
   /// Invalidate (remote node took exclusive ownership).
   bool invalidate(PageId page) {
     auto it = map_.find(page);
     if (it == map_.end()) return false;
-    lru_.erase(it->second.lru_it);
-    map_.erase(it);
+    drop_entry(it->value);
+    map_.erase_compact(it);
     return true;
   }
 
@@ -61,8 +80,8 @@ class BufferCache {
   std::size_t invalidate_if(Pred pred) {
     std::size_t dropped = 0;
     for (auto it = map_.begin(); it != map_.end();) {
-      if (pred(it->first)) {
-        lru_.erase(it->second.lru_it);
+      if (pred(it->key)) {
+        drop_entry(it->value);
         it = map_.erase(it);
         ++dropped;
       } else {
@@ -76,22 +95,35 @@ class BufferCache {
   void touch(PageId page) {
     auto it = map_.find(page);
     if (it == map_.end()) return;
-    lru_.splice(lru_.end(), lru_, it->second.lru_it);
+    const std::uint32_t idx = it->value;
+    lru_.move_to_tail(slab_, idx);
+    if (split_ && slab_[idx].pins == 0) unpinned_.move_to_tail(slab_, idx);
   }
 
   void pin(PageId page) {
     auto it = map_.find(page);
-    if (it != map_.end()) ++it->second.pins;
+    if (it == map_.end()) return;
+    if (!split_) activate_split();
+    Entry& e = slab_[it->value];
+    if (e.pins++ == 0) unpinned_.unlink(slab_, it->value);
   }
   void unpin(PageId page) {
     auto it = map_.find(page);
-    if (it != map_.end() && it->second.pins > 0) --it->second.pins;
+    if (it == map_.end() || slab_[it->value].pins == 0) return;
+    const std::uint32_t idx = it->value;
+    if (--slab_[idx].pins > 0) return;
+    // Re-enter the unpinned list at the position the recency order dictates:
+    // before the first unpinned page that is younger in the main list (cold
+    // path — the model never pins, only tests and future holders do).
+    std::uint32_t after = slab_[idx].next;
+    while (after != kNil && slab_[after].pins != 0) after = slab_[after].next;
+    unpinned_.link_before(slab_, idx, after);
   }
 
   /// Give up \p n unpinned pages to the version overflow area (the paper:
   /// "unpinned pages from the buffer cache are stolen to replenish it").
   /// Returns the stolen pages; capacity shrinks accordingly.
-  std::vector<PageId> steal_for_versions(std::size_t n);
+  EvictedList steal_for_versions(std::size_t n);
 
   /// Return previously stolen capacity (version GC freed space).
   void restore_capacity(std::size_t n) { capacity_ += n; }
@@ -99,54 +131,179 @@ class BufferCache {
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// Entries examined across all evictions (the `db.lru_evict_scans` probe:
+  /// with the unpinned list this advances by exactly 1 per eviction, pinned
+  /// front or not).
+  [[nodiscard]] obs::Counter& evict_scans() { return evict_scans_; }
+  [[nodiscard]] const sim::ProbeStats& probe_stats() const {
+    return map_.probe_stats();
+  }
+
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Entry {
-    PageMode mode;
-    int pins = 0;
-    std::list<PageId>::iterator lru_it;
+    PageId page = 0;
+    std::uint32_t prev = kNil, next = kNil;    ///< resident recency list
+    std::uint32_t uprev = kNil, unext = kNil;  ///< unpinned sublist
+    std::uint32_t pins = 0;
+    std::uint32_t map_idx = 0;  ///< this page's slot in map_ (valid until rehash)
+    PageMode mode = PageMode::kShared;
+  };
+
+  /// One intrusive doubly-linked index list through the slab; parameterised
+  /// on which pair of link fields it threads.
+  template <std::uint32_t Entry::* Prev, std::uint32_t Entry::* Next>
+  struct List {
+    std::uint32_t head = kNil, tail = kNil;
+
+    void push_tail(std::vector<Entry>& slab, std::uint32_t idx) {
+      slab[idx].*Prev = tail;
+      slab[idx].*Next = kNil;
+      if (tail == kNil) {
+        head = idx;
+      } else {
+        slab[tail].*Next = idx;
+      }
+      tail = idx;
+    }
+    void unlink(std::vector<Entry>& slab, std::uint32_t idx) {
+      Entry& e = slab[idx];
+      if (e.*Prev == kNil) {
+        head = e.*Next;
+      } else {
+        slab[e.*Prev].*Next = e.*Next;
+      }
+      if (e.*Next == kNil) {
+        tail = e.*Prev;
+      } else {
+        slab[e.*Next].*Prev = e.*Prev;
+      }
+      e.*Prev = kNil;
+      e.*Next = kNil;
+    }
+    void move_to_tail(std::vector<Entry>& slab, std::uint32_t idx) {
+      if (tail == idx) return;
+      unlink(slab, idx);
+      push_tail(slab, idx);
+    }
+    /// Insert \p idx before \p before (kNil appends at the tail).
+    void link_before(std::vector<Entry>& slab, std::uint32_t idx,
+                     std::uint32_t before) {
+      if (before == kNil) {
+        push_tail(slab, idx);
+        return;
+      }
+      Entry& b = slab[before];
+      slab[idx].*Prev = b.*Prev;
+      slab[idx].*Next = before;
+      if (b.*Prev == kNil) {
+        head = idx;
+      } else {
+        slab[b.*Prev].*Next = idx;
+      }
+      b.*Prev = idx;
+    }
   };
 
   /// Pop the least recently used unpinned page; returns 0 when none.
   PageId evict_one();
 
+  /// Unlink \p idx from both lists and recycle the slab slot (the map entry
+  /// is the caller's to erase).
+  void drop_entry(std::uint32_t idx) {
+    lru_.unlink(slab_, idx);
+    if (split_ && slab_[idx].pins == 0) unpinned_.unlink(slab_, idx);
+    free_.push_back(idx);
+  }
+
+  /// Rebuild every entry's stored map slot index after a map rehash.
+  void refresh_map_indices() {
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      slab_[it->value].map_idx = static_cast<std::uint32_t>(map_.index_of(it));
+    }
+  }
+
+  /// First pin ever: from here on the unpinned sublist is maintained
+  /// incrementally, seeded with the current recency order (nothing is pinned
+  /// yet at this point, so every resident page joins).
+  void activate_split() {
+    split_ = true;
+    for (std::uint32_t i = lru_.head; i != kNil; i = slab_[i].next) {
+      unpinned_.push_tail(slab_, i);
+    }
+  }
+
+  std::uint32_t alloc_entry(PageId page, PageMode mode) {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      slab_[idx] = Entry{};
+    } else {
+      idx = static_cast<std::uint32_t>(slab_.size());
+      slab_.emplace_back();
+    }
+    slab_[idx].page = page;
+    slab_[idx].mode = mode;
+    return idx;
+  }
+
   std::size_t capacity_;
-  std::unordered_map<PageId, Entry> map_;
-  std::list<PageId> lru_;  ///< front = coldest
+  sim::FlatMap<PageId, std::uint32_t> map_;  ///< page → slab index
+  std::vector<Entry> slab_;
+  std::vector<std::uint32_t> free_;
+  List<&Entry::prev, &Entry::next> lru_;        ///< head = coldest resident
+  List<&Entry::uprev, &Entry::unext> unpinned_;  ///< same order, unpinned only
+  bool split_ = false;  ///< unpinned_ maintained (first pin seen)
+  obs::Counter evict_scans_;
 };
 
-inline std::vector<PageId> BufferCache::insert(PageId page, PageMode mode) {
-  std::vector<PageId> evicted;
-  auto it = map_.find(page);
-  if (it != map_.end()) {
-    if (mode == PageMode::kExclusive) it->second.mode = PageMode::kExclusive;
-    touch(page);
+inline BufferCache::EvictedList BufferCache::insert(PageId page, PageMode mode) {
+  EvictedList evicted;
+  const std::size_t cap0 = map_.capacity();
+  auto [it, inserted] = map_.try_emplace(page, 0);
+  // The map is reserved to capacity up front and erases never move slots, so
+  // a rehash here is essentially unreachable — but if one happens, every
+  // stored slot index is stale and must be re-derived.
+  if (map_.capacity() != cap0) refresh_map_indices();
+  if (!inserted) {
+    // Resident: one probe covers the hit — upgrade in place and re-rank.
+    const std::uint32_t idx = it->value;
+    if (mode == PageMode::kExclusive) slab_[idx].mode = PageMode::kExclusive;
+    lru_.move_to_tail(slab_, idx);
+    if (split_ && slab_[idx].pins == 0) unpinned_.move_to_tail(slab_, idx);
     return evicted;
   }
-  while (map_.size() >= capacity_) {
-    PageId victim = evict_one();
+  // Assign the slab slot and record where the map put this page before
+  // evicting: erases never move slots, so the recorded index lets eviction
+  // erase its victim without re-probing (see evict_one).
+  const std::uint32_t idx = alloc_entry(page, mode);
+  it->value = idx;
+  slab_[idx].map_idx = static_cast<std::uint32_t>(map_.index_of(it));
+  while (map_.size() > capacity_) {
+    PageId victim = evict_one();  // never the new page: it is list-linked below
     if (victim == 0) break;  // everything pinned; allow transient overcommit
     evicted.push_back(victim);
   }
-  lru_.push_back(page);
-  map_[page] = Entry{mode, 0, std::prev(lru_.end())};
+  lru_.push_tail(slab_, idx);
+  if (split_) unpinned_.push_tail(slab_, idx);
   return evicted;
 }
 
 inline PageId BufferCache::evict_one() {
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    auto mit = map_.find(*it);
-    if (mit->second.pins == 0) {
-      PageId victim = *it;
-      lru_.erase(it);
-      map_.erase(mit);
-      return victim;
-    }
-  }
-  return 0;
+  const std::uint32_t idx = split_ ? unpinned_.head : lru_.head;
+  if (idx == kNil) return 0;
+  evict_scans_.record();
+  const PageId victim = slab_[idx].page;
+  const std::uint32_t map_idx = slab_[idx].map_idx;
+  drop_entry(idx);
+  map_.erase_at(map_idx);  // no re-probe, no cold slot-line read
+  return victim;
 }
 
-inline std::vector<PageId> BufferCache::steal_for_versions(std::size_t n) {
-  std::vector<PageId> stolen;
+inline BufferCache::EvictedList BufferCache::steal_for_versions(std::size_t n) {
+  EvictedList stolen;
   while (stolen.size() < n && capacity_ > 1) {
     PageId victim = evict_one();
     if (victim == 0) break;

@@ -10,22 +10,35 @@
 /// Waiting discipline per the paper's two-phase scheme: a transaction may
 /// *wait* on the first lock of its ordered sequence, while conflicts later
 /// in the sequence fail fast (release-and-retry at the caller).
+///
+/// Allocation discipline (see DESIGN.md §"DB-tier internals"): the grant
+/// table is an open-addressing sim::FlatMap; erases hand slots straight
+/// back to the group (or, rarely, a reusable tombstone), so a steady
+/// acquire/release cycle settles into zero allocation. Waiter state
+/// lives in a per-manager pool indexed by {slot, generation} handles — the
+/// shared_ptr<Waiter> + heap Gate pair this replaces cost five allocations
+/// per contended wait. A pool slot is freed by the waiting coroutine itself
+/// (the last reader of `granted`); the generation counter lets queue entries
+/// and timeout timers that outlive the slot detect staleness instead of
+/// keeping the allocation alive.
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <unordered_map>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "db/table.hpp"
 #include "sim/engine.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/obs/registry.hpp"
 #include "sim/obs/stats.hpp"
+#include "sim/small_vec.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 namespace dclue::db {
 
 using TxnToken = std::uint64_t;
-using LockName = std::uint64_t;
 
 class LockManager {
  public:
@@ -56,7 +69,7 @@ class LockManager {
   std::size_t purge_if(Pred pred) {
     std::size_t purged = 0;
     for (auto it = table_.begin(); it != table_.end();) {
-      Entry& entry = it->second;
+      Entry& entry = it->value;
       if (!pred(entry.holder)) {
         ++it;
         continue;
@@ -64,20 +77,21 @@ class LockManager {
       ++purged;
       bool regranted = false;
       while (!entry.waiters.empty()) {
-        auto waiter = entry.waiters.front();
-        entry.waiters.pop_front();
-        if (waiter->abandoned) continue;
-        if (pred(waiter->owner)) {
+        const WaiterRef ref = entry.waiters.front();
+        entry.waiters.erase_at(0);
+        Waiter* w = deref(ref);
+        if (w == nullptr || w->abandoned) continue;
+        if (pred(w->owner)) {
           // Dead transaction's waiter: wake ungranted so its coroutine
           // unwinds instead of parking on a purged lock forever.
           note_waiting(-1);
-          waiter->gate->open();
+          wake(*w);
           continue;
         }
-        entry.holder = waiter->owner;
-        waiter->granted = true;
+        entry.holder = w->owner;
+        w->granted = true;
         note_waiting(-1);
-        waiter->gate->open();
+        wake(*w);
         regranted = true;
         break;
       }
@@ -95,8 +109,8 @@ class LockManager {
   template <typename Pred>
   [[nodiscard]] std::size_t held_matching(Pred pred) const {
     std::size_t n = 0;
-    for (const auto& [name, entry] : table_) {
-      if (pred(entry.holder)) ++n;
+    for (const auto& slot : table_) {
+      if (pred(slot.value.holder)) ++n;
     }
     return n;
   }
@@ -105,10 +119,21 @@ class LockManager {
   }
 
   /// Bind the lock table's probes under \p prefix ("node0.lock.").
-  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
-    reg.bind(prefix + "wait_queue_depth", &wait_queue_depth_);
-    reg.gauge_fn(prefix + "held",
+  void register_metrics(obs::MetricsRegistry& reg, std::string_view prefix) {
+    reg.bind(std::string(prefix) + "wait_queue_depth", &wait_queue_depth_);
+    reg.gauge_fn(std::string(prefix) + "held",
                  [this] { return static_cast<double>(held_count()); });
+  }
+
+  [[nodiscard]] const sim::ProbeStats& probe_stats() const {
+    return table_.probe_stats();
+  }
+
+  /// Pool introspection for tests: total slots ever created / currently free.
+  /// Steady-state contention should reuse slots, not mint new ones.
+  [[nodiscard]] std::size_t waiter_pool_size() const { return pool_.size(); }
+  [[nodiscard]] std::size_t waiter_pool_free() const {
+    return pool_free_.size();
   }
 
  private:
@@ -116,67 +141,133 @@ class LockManager {
     waiting_ += delta;
     wait_queue_depth_.record(engine_.now(), waiting_);
   }
+
+  /// Generation-checked handle into the waiter pool. Queue entries and timer
+  /// closures hold these; a mismatched generation means the wait already
+  /// concluded and the slot was recycled.
+  struct WaiterRef {
+    std::uint32_t idx;
+    std::uint32_t gen;
+  };
+
   struct Waiter {
-    TxnToken owner;
-    std::unique_ptr<sim::Gate> gate;
+    TxnToken owner = 0;
+    std::uint32_t gen = 0;
     bool granted = false;
     bool abandoned = false;  ///< timed out; skip when granting
+    bool open = false;       ///< wake already signalled
+    std::coroutine_handle<> parked;
   };
+
   struct Entry {
     TxnToken holder;
-    std::deque<std::shared_ptr<Waiter>> waiters;
+    sim::SmallVec<WaiterRef, 4> waiters;
+  };
+
+  [[nodiscard]] Waiter* deref(WaiterRef ref) {
+    Waiter& w = pool_[ref.idx];
+    return w.gen == ref.gen ? &w : nullptr;
+  }
+
+  WaiterRef alloc_waiter(TxnToken owner) {
+    std::uint32_t idx;
+    if (!pool_free_.empty()) {
+      idx = pool_free_.back();
+      pool_free_.pop_back();
+    } else {
+      idx = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    Waiter& w = pool_[idx];
+    w.owner = owner;
+    w.granted = false;
+    w.abandoned = false;
+    w.open = false;
+    w.parked = nullptr;
+    return WaiterRef{idx, w.gen};
+  }
+
+  /// Recycle a slot; bumping the generation invalidates outstanding refs.
+  void free_waiter(std::uint32_t idx) {
+    ++pool_[idx].gen;
+    pool_free_.push_back(idx);
+  }
+
+  /// Signal a waiter's one-shot wake point. Resumption is deferred through
+  /// the engine, exactly like sim::Gate::open(), so grant ordering relative
+  /// to other events is unchanged.
+  void wake(Waiter& w) {
+    if (w.open) return;
+    w.open = true;
+    if (w.parked) sim::detail::resume_via_engine(engine_, w.parked);
+  }
+
+  /// Awaitable bound to one pool slot; parks the coroutine until wake().
+  struct WaitPoint {
+    LockManager& mgr;
+    std::uint32_t idx;
+    [[nodiscard]] bool await_ready() const noexcept {
+      return mgr.pool_[idx].open;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      mgr.pool_[idx].parked = h;
+    }
+    void await_resume() const noexcept {}
   };
 
   sim::Engine& engine_;
-  std::unordered_map<LockName, Entry> table_;
+  sim::FlatMap<LockName, Entry> table_;
+  std::vector<Waiter> pool_;
+  std::vector<std::uint32_t> pool_free_;
   int waiting_ = 0;  ///< live (non-abandoned) waiters across all locks
   obs::TimeWeightedAvg wait_queue_depth_;
 };
 
 inline bool LockManager::try_acquire(LockName name, TxnToken owner) {
   auto [it, inserted] = table_.try_emplace(name, Entry{owner, {}});
-  return inserted || it->second.holder == owner;
+  return inserted || it->value.holder == owner;
 }
 
 inline sim::Task<bool> LockManager::acquire_wait(LockName name, TxnToken owner,
                                                  sim::Duration timeout) {
   if (try_acquire(name, owner)) co_return true;
-  auto& entry = table_[name];
-  auto waiter = std::make_shared<Waiter>();
-  waiter->owner = owner;
-  waiter->gate = std::make_unique<sim::Gate>(engine_);
-  entry.waiters.push_back(waiter);
+  const WaiterRef ref = alloc_waiter(owner);
+  table_.find(name)->value.waiters.push_back(ref);
   note_waiting(+1);
   sim::EventHandle timer;
   if (timeout > 0.0) {
-    timer = engine_.after(timeout, [this, waiter] {
-      if (!waiter->granted) {
-        waiter->abandoned = true;
+    timer = engine_.after(timeout, [this, ref] {
+      Waiter* w = deref(ref);
+      if (w != nullptr && !w->granted) {
+        w->abandoned = true;
         note_waiting(-1);
-        waiter->gate->open();
+        wake(*w);
       }
     });
   }
-  co_await waiter->gate->wait();
+  co_await WaitPoint{*this, ref.idx};
   timer.cancel();
-  co_return waiter->granted;
+  const bool granted = pool_[ref.idx].granted;
+  free_waiter(ref.idx);
+  co_return granted;
 }
 
 inline void LockManager::release(LockName name, TxnToken owner) {
   auto it = table_.find(name);
-  if (it == table_.end() || it->second.holder != owner) return;
-  auto& entry = it->second;
+  if (it == table_.end() || it->value.holder != owner) return;
+  Entry& entry = it->value;
   while (!entry.waiters.empty()) {
-    auto waiter = entry.waiters.front();
-    entry.waiters.pop_front();
-    if (waiter->abandoned) continue;
-    entry.holder = waiter->owner;
-    waiter->granted = true;
+    const WaiterRef ref = entry.waiters.front();
+    entry.waiters.erase_at(0);
+    Waiter* w = deref(ref);
+    if (w == nullptr || w->abandoned) continue;
+    entry.holder = w->owner;
+    w->granted = true;
     note_waiting(-1);
-    waiter->gate->open();
+    wake(*w);
     return;
   }
-  table_.erase(it);
+  table_.erase_compact(it);
 }
 
 }  // namespace dclue::db

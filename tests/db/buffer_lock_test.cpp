@@ -73,6 +73,56 @@ TEST(BufferCache, ReinsertExistingUpgradesMode) {
   EXPECT_EQ(c.size(), 1u);
 }
 
+TEST(BufferCache, EvictionCostBoundedWithPinnedColdFront) {
+  // Regression: eviction used to rescan the recency list from the front,
+  // skipping pinned-cold pages on every call — O(pinned prefix) per insert.
+  // With the unpinned sublist each eviction examines exactly one entry, no
+  // matter how many pinned pages sit at the LRU front.
+  constexpr std::size_t kCap = 256;
+  constexpr std::size_t kPinned = 200;
+  BufferCache c(kCap);
+  for (std::size_t i = 0; i < kCap; ++i) c.insert(pg(i), PageMode::kShared);
+  // Pin the coldest 200 pages: they stay parked at the recency front.
+  for (std::size_t i = 0; i < kPinned; ++i) c.pin(pg(i));
+  const auto scans_before = c.evict_scans().count();
+  constexpr std::size_t kInserts = 1000;
+  for (std::size_t i = 0; i < kInserts; ++i) {
+    auto evicted = c.insert(pg(10000 + i), PageMode::kShared);
+    ASSERT_EQ(evicted.size(), 1u) << i;
+    EXPECT_GE(db::page_number(evicted[0]), kPinned);  // never a pinned page
+  }
+  // Exactly one entry examined per eviction: cost is per-eviction constant,
+  // not proportional to the pinned prefix.
+  EXPECT_EQ(c.evict_scans().count() - scans_before, kInserts);
+  for (std::size_t i = 0; i < kPinned; ++i) EXPECT_TRUE(c.resident(pg(i)));
+}
+
+TEST(BufferCache, UnpinReentersEvictionOrderByRecency) {
+  BufferCache c(3);
+  c.insert(pg(1), PageMode::kShared);
+  c.insert(pg(2), PageMode::kShared);
+  c.insert(pg(3), PageMode::kShared);
+  c.pin(pg(1));   // coldest, but protected
+  c.unpin(pg(1)); // back in play at its recency position (still coldest)
+  auto evicted = c.insert(pg(4), PageMode::kShared);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], pg(1));
+}
+
+TEST(BufferCache, TouchWhilePinnedKeepsRecencyForLater) {
+  BufferCache c(3);
+  c.insert(pg(1), PageMode::kShared);
+  c.insert(pg(2), PageMode::kShared);
+  c.insert(pg(3), PageMode::kShared);
+  c.pin(pg(1));
+  c.touch(pg(1));  // pinned page touched: now the *hottest*
+  c.unpin(pg(1));
+  // pg(2) is the coldest unpinned page after pg(1) moved to the hot end.
+  auto evicted = c.insert(pg(4), PageMode::kShared);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], pg(2));
+}
+
 // ---------------------------------------------------------------------------
 
 TEST(LockManager, TryAcquireConflictsAndReentrancy) {

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "db/lock_manager.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace dclue::db {
+namespace {
+
+// Waiter slots come from a per-manager pool recycled by generation-counted
+// handles; these tests pin the pool lifecycle across the interleavings the
+// model produces: plain grants, timeouts racing releases, and crash purges.
+
+TEST(LockWaitPool, SlotsRecycledAcrossSequentialWaits) {
+  sim::Engine e;
+  LockManager lm(e);
+  ASSERT_TRUE(lm.try_acquire(7, 1));
+  for (int round = 0; round < 100; ++round) {
+    bool granted = true;
+    sim::spawn([](LockManager& lm, bool& g, int id) -> sim::Task<void> {
+      g = co_await lm.acquire_wait(7, static_cast<TxnToken>(id), 0.5);
+    }(lm, granted, 100 + round));
+    e.run();
+    EXPECT_FALSE(granted);  // holder never releases; every wait times out
+    // One waiter at a time: the pool never needs a second slot, and the
+    // timed-out slot is back on the free list before the next round.
+    EXPECT_EQ(lm.waiter_pool_size(), 1u);
+    EXPECT_EQ(lm.waiter_pool_free(), 1u);
+  }
+}
+
+TEST(LockWaitPool, ConcurrentWaitersPeakThenDrainToFreeList) {
+  sim::Engine e;
+  LockManager lm(e);
+  ASSERT_TRUE(lm.try_acquire(7, 1));
+  int grants = 0;
+  constexpr int kWaiters = 16;
+  for (int i = 0; i < kWaiters; ++i) {
+    sim::spawn([](LockManager& lm, int& g, int id) -> sim::Task<void> {
+      if (co_await lm.acquire_wait(7, static_cast<TxnToken>(id), 0.0)) {
+        ++g;
+        lm.release(7, static_cast<TxnToken>(id));
+      }
+    }(lm, grants, 100 + i));
+  }
+  e.after(1.0, [&lm] { lm.release(7, 1); });
+  e.run();
+  EXPECT_EQ(grants, kWaiters);
+  EXPECT_EQ(lm.waiter_pool_size(), static_cast<std::size_t>(kWaiters));
+  EXPECT_EQ(lm.waiter_pool_free(), static_cast<std::size_t>(kWaiters));
+  // A second contended burst reuses the drained slots: the pool is capped by
+  // peak concurrency, not cumulative wait count.
+  ASSERT_TRUE(lm.try_acquire(7, 1));
+  for (int i = 0; i < kWaiters; ++i) {
+    sim::spawn([](LockManager& lm, int& g, int id) -> sim::Task<void> {
+      if (co_await lm.acquire_wait(7, static_cast<TxnToken>(id), 0.0)) {
+        ++g;
+        lm.release(7, static_cast<TxnToken>(id));
+      }
+    }(lm, grants, 200 + i));
+  }
+  e.after(1.0, [&lm] { lm.release(7, 1); });
+  e.run();
+  EXPECT_EQ(grants, 2 * kWaiters);
+  EXPECT_EQ(lm.waiter_pool_size(), static_cast<std::size_t>(kWaiters));
+}
+
+TEST(LockWaitPool, TimedOutSlotIsFreedAndQueueSkipsIt) {
+  sim::Engine e;
+  LockManager lm(e);
+  ASSERT_TRUE(lm.try_acquire(7, 1));
+  bool timed_out_granted = true;
+  bool patient_granted = false;
+  sim::spawn([](LockManager& lm, bool& g) -> sim::Task<void> {
+    g = co_await lm.acquire_wait(7, 2, 0.5);
+  }(lm, timed_out_granted));
+  sim::spawn([](LockManager& lm, bool& g) -> sim::Task<void> {
+    g = co_await lm.acquire_wait(7, 3, 0.0);
+    if (g) lm.release(7, 3);
+  }(lm, patient_granted));
+  e.after(1.0, [&lm] { lm.release(7, 1); });
+  e.run();
+  EXPECT_FALSE(timed_out_granted);
+  EXPECT_TRUE(patient_granted);
+  EXPECT_FALSE(lm.is_held(7));
+  EXPECT_EQ(lm.waiter_pool_free(), lm.waiter_pool_size());
+}
+
+TEST(LockWaitPool, TimeoutRacingSameInstantRelease) {
+  // Timeout timer and release land on the same instant. Same-deadline
+  // events fire in scheduling order, so the timer (armed at wait start)
+  // abandons the waiter first and the release must then skip it, freeing
+  // the lock instead of granting a dead wait.
+  sim::Engine e;
+  LockManager lm(e);
+  ASSERT_TRUE(lm.try_acquire(7, 1));
+  bool granted = true;
+  sim::spawn([](LockManager& lm, bool& g) -> sim::Task<void> {
+    g = co_await lm.acquire_wait(7, 2, 0.5);
+  }(lm, granted));
+  e.after(0.5, [&lm] { lm.release(7, 1); });
+  e.run();
+  EXPECT_FALSE(granted);
+  EXPECT_FALSE(lm.is_held(7));
+  EXPECT_TRUE(lm.try_acquire(7, 3));
+  EXPECT_EQ(lm.waiter_pool_free(), lm.waiter_pool_size());
+}
+
+TEST(LockWaitPool, PurgeWakesDeadWaitersUngrantedAndLiveWaitersGranted) {
+  sim::Engine e;
+  LockManager lm(e);
+  // Holder txn 10 (dead node); waiters: txn 11 (dead), txn 20 (live).
+  ASSERT_TRUE(lm.try_acquire(7, 10));
+  bool dead_granted = true;
+  bool live_granted = false;
+  sim::spawn([](LockManager& lm, bool& g) -> sim::Task<void> {
+    g = co_await lm.acquire_wait(7, 11, 0.0);
+  }(lm, dead_granted));
+  sim::spawn([](LockManager& lm, bool& g) -> sim::Task<void> {
+    g = co_await lm.acquire_wait(7, 20, 0.0);
+  }(lm, live_granted));
+  e.after(1.0, [&lm] {
+    EXPECT_EQ(lm.purge_if([](TxnToken t) { return t < 20; }), 1u);
+  });
+  e.run();
+  EXPECT_FALSE(dead_granted);
+  EXPECT_TRUE(live_granted);
+  EXPECT_TRUE(lm.is_held(7));  // re-mastered to txn 20
+  EXPECT_FALSE(lm.try_acquire(7, 99));
+  EXPECT_EQ(lm.waiter_pool_free(), lm.waiter_pool_size());
+}
+
+TEST(LockWaitPool, AbandonedThenPurgedLockLeavesNoLiveSlots) {
+  sim::Engine e;
+  LockManager lm(e);
+  ASSERT_TRUE(lm.try_acquire(7, 10));
+  bool granted = true;
+  sim::spawn([](LockManager& lm, bool& g) -> sim::Task<void> {
+    g = co_await lm.acquire_wait(7, 2, 0.5);
+  }(lm, granted));
+  // Purge after the waiter timed out: its abandoned queue entry must be
+  // skipped (stale generation or abandoned flag), not granted.
+  e.after(1.0, [&lm] {
+    EXPECT_EQ(lm.purge_if([](TxnToken t) { return t == 10; }), 1u);
+  });
+  e.run();
+  EXPECT_FALSE(granted);
+  EXPECT_FALSE(lm.is_held(7));
+  EXPECT_EQ(lm.waiter_pool_free(), lm.waiter_pool_size());
+  EXPECT_EQ(lm.wait_queue_depth().current(), 0.0);
+}
+
+}  // namespace
+}  // namespace dclue::db
